@@ -1,0 +1,122 @@
+// Ablation — which causal mechanism produces which statistical signature.
+//
+// The paper explains its correlation findings causally (§5.2.3: shared
+// temperature/cooling, shared interconnect components, synchronized driver
+// updates). The simulator encodes each cause as a separate mechanism; this
+// harness knocks each one out in turn and regenerates the Figure 9/10
+// metrics, showing the attribution:
+//   shelf badness        -> disk-failure self-correlation (Figure 10 disk bar)
+//   hawkes               -> residual disk-failure burstiness (Figure 9 disk curve)
+//   interconnect clusters -> PI burstiness + correlation
+//   driver/congestion     -> protocol / performance burstiness + correlation
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.h"
+#include "core/burstiness.h"
+#include "core/correlation.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace storsubsim;
+using model::FailureType;
+
+struct Knockout {
+  const char* name;
+  sim::MechanismToggles toggles;
+};
+
+std::vector<Knockout> knockouts() {
+  std::vector<Knockout> list;
+  list.push_back({"all mechanisms ON (standard)", {}});
+  {
+    sim::MechanismToggles t;
+    t.shelf_badness = false;
+    list.push_back({"no shelf badness", t});
+  }
+  {
+    sim::MechanismToggles t;
+    t.hawkes = false;
+    list.push_back({"no hawkes triggering", t});
+  }
+  {
+    sim::MechanismToggles t;
+    t.interconnect_clusters = false;
+    list.push_back({"no interconnect clusters", t});
+  }
+  {
+    sim::MechanismToggles t;
+    t.driver_windows = false;
+    list.push_back({"no driver epochs/incidents", t});
+  }
+  {
+    sim::MechanismToggles t;
+    t.congestion_windows = false;
+    list.push_back({"no congestion epochs/incidents", t});
+  }
+  {
+    sim::MechanismToggles t;
+    t.shelf_badness = t.hawkes = t.environment_windows = false;
+    t.interconnect_clusters = t.driver_windows = t.congestion_windows = false;
+    list.push_back({"ALL mechanisms OFF (independence)", t});
+  }
+  return list;
+}
+
+void report(const bench::Options& options) {
+  std::cout << "\n================================================================\n"
+            << "Ablation: correlation-mechanism knockouts (standard fleet)\n"
+            << "================================================================\n";
+  const double scale = std::min(options.scale, 0.25);  // 7 fleet runs; keep bounded
+  std::cout << "running at fleet scale " << scale << "\n\n";
+
+  core::TextTable table({"configuration", "shelf corr: disk", "pi", "proto", "perf",
+                         "shelf gaps<=10^4s: disk", "pi", "proto", "perf", "overall"});
+  for (const auto& k : knockouts()) {
+    auto fs = sim::run_mechanism_ablation(k.toggles, scale, options.seed);
+    const auto ds = core::dataset_in_memory(fs.fleet, fs.result);
+    const auto corr = core::failure_correlation_all_types(ds, core::Scope::kShelf);
+    const auto tbf = core::time_between_failures(ds, core::Scope::kShelf);
+    table.add_row(
+        {k.name, core::fmt(corr[0].correlation_factor(), 1) + "x",
+         core::fmt(corr[1].correlation_factor(), 1) + "x",
+         core::fmt(corr[2].correlation_factor(), 1) + "x",
+         core::fmt(corr[3].correlation_factor(), 1) + "x",
+         core::fmt_pct(tbf.fraction_within(core::series_of(FailureType::kDisk), 1e4), 1),
+         core::fmt_pct(
+             tbf.fraction_within(core::series_of(FailureType::kPhysicalInterconnect), 1e4),
+             1),
+         core::fmt_pct(tbf.fraction_within(core::series_of(FailureType::kProtocol), 1e4), 1),
+         core::fmt_pct(tbf.fraction_within(core::series_of(FailureType::kPerformance), 1e4),
+                       1),
+         core::fmt_pct(tbf.fraction_within(core::kOverallSeries, 1e4), 1)});
+  }
+  bench::print_table(std::cout, table, options);
+  std::cout << "Each knockout should collapse exactly its own column(s) toward the "
+               "independence baseline (factor ~1x, burstiness ~0%), attributing each paper "
+               "finding to its causal mechanism.\n";
+}
+
+void BM_KnockoutRun(benchmark::State& state) {
+  sim::MechanismToggles t;
+  t.interconnect_clusters = state.range(0) != 0;
+  for (auto _ : state) {
+    auto fs = sim::run_mechanism_ablation(t, bench::kTimingScale, 1);
+    benchmark::DoNotOptimize(fs.result.failures.size());
+  }
+}
+BENCHMARK(BM_KnockoutRun)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  if (options.run_benchmarks) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  report(options);
+  return 0;
+}

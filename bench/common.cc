@@ -1,0 +1,74 @@
+#include "common.h"
+
+#include <charconv>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string_view>
+
+namespace storsubsim::bench {
+
+Options parse_options(int& argc, char** argv) {
+  Options options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--report-only") {
+      options.run_benchmarks = false;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg.starts_with("--scale=")) {
+      options.scale = std::stod(std::string(arg.substr(8)));
+    } else if (arg.starts_with("--seed=")) {
+      options.seed = std::stoull(std::string(arg.substr(7)));
+    } else {
+      argv[out++] = argv[i];  // leave for google-benchmark
+    }
+  }
+  argc = out;
+  return options;
+}
+
+const core::SimulationDataset& standard_dataset(const Options& options) {
+  static std::map<std::pair<double, std::uint64_t>,
+                  std::unique_ptr<core::SimulationDataset>>
+      cache;
+  auto& slot = cache[{options.scale, options.seed}];
+  if (!slot) {
+    slot = std::make_unique<core::SimulationDataset>(core::simulate_and_analyze(
+        model::standard_fleet_config(options.scale, options.seed)));
+  }
+  return *slot;
+}
+
+void print_banner(std::ostream& out, const std::string& exhibit, const Options& options,
+                  const core::SimulationDataset& dataset) {
+  out << "\n================================================================\n"
+      << exhibit << "\n"
+      << "fleet scale " << options.scale << " (seed " << options.seed << "): "
+      << dataset.dataset.selected_system_count() << " systems, "
+      << dataset.dataset.selected_shelf_count() << " shelves, "
+      << dataset.dataset.inventory().disks.size() << " disk records, "
+      << core::fmt(dataset.dataset.disk_exposure_years(), 0) << " disk-years, "
+      << dataset.dataset.events().size() << " subsystem failures\n"
+      << "pipeline: " << dataset.pipeline.log_lines_written << " log lines emitted, "
+      << dataset.pipeline.log_lines_parsed << " parsed, "
+      << dataset.pipeline.failures_classified << " failures classified\n"
+      << "================================================================\n";
+}
+
+void print_table(std::ostream& out, const core::TextTable& table, const Options& options) {
+  if (options.csv) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+  }
+  out << "\n";
+}
+
+std::string afr_cell(const core::AfrBreakdown& b, model::FailureType type) {
+  return core::fmt(b.afr_pct(type), 2);
+}
+
+}  // namespace storsubsim::bench

@@ -1,0 +1,57 @@
+// Shared infrastructure for the experiment harnesses.
+//
+// Every bench binary reproduces one paper exhibit. Running a binary does two
+// things: (1) google-benchmark timings of the pipeline stages involved, at a
+// reduced fleet scale, and (2) a report that regenerates the exhibit's
+// rows/series at the configured scale, printed next to the paper's reference
+// values.
+//
+// Flags (ours are consumed before google-benchmark sees the rest):
+//   --report-only          skip the timing benchmarks
+//   --scale=<float>        fleet scale for the report (default 1.0 = the
+//                          paper's full ~39k-system fleet; ~6 s per run)
+//   --seed=<int>           simulation seed
+//   --csv                  print tables as CSV instead of aligned text
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/afr.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+
+namespace storsubsim::bench {
+
+struct Options {
+  double scale = 1.0;
+  std::uint64_t seed = 20080226;
+  bool run_benchmarks = true;
+  bool csv = false;
+};
+
+/// Parses and strips our flags from argv (google-benchmark parses the rest).
+Options parse_options(int& argc, char** argv);
+
+/// Simulates the standard fleet once per (scale, seed) and caches the result
+/// for the lifetime of the process; the text-log round-trip is included so
+/// the report measures the same end-to-end path the paper's analysis took.
+const core::SimulationDataset& standard_dataset(const Options& options);
+
+/// Prints the exhibit banner: what is being reproduced, fleet scale, and the
+/// dataset's headline statistics.
+void print_banner(std::ostream& out, const std::string& exhibit, const Options& options,
+                  const core::SimulationDataset& dataset);
+
+/// Renders a table honoring --csv.
+void print_table(std::ostream& out, const core::TextTable& table, const Options& options);
+
+/// Formats an AFR breakdown row: total + per-type percentages.
+std::string afr_cell(const core::AfrBreakdown& b, model::FailureType type);
+
+/// The scale google-benchmark timing loops use (kept small so the timing
+/// section stays in milliseconds).
+inline constexpr double kTimingScale = 0.02;
+
+}  // namespace storsubsim::bench

@@ -1,0 +1,107 @@
+// Figure 7 — AFR for storage subsystems broken down by the number of
+// independent interconnect paths (mid-range and high-end systems).
+//
+// Reproduces Finding 7: dual paths cut physical-interconnect AFR by 50-60%
+// (1.82 -> 0.91 mid-range, 2.13 -> 0.90 high-end in the paper) and whole
+// subsystem AFR by 30-40%, significant at 99.9% confidence — far short of
+// the idealized squared-probability reduction because backplane faults and
+// shared-HBA failures are not maskable.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common.h"
+#include "core/significance.h"
+
+namespace {
+
+using namespace storsubsim;
+using model::FailureType;
+
+struct PaperRef {
+  double single_pi, dual_pi;
+};
+const PaperRef kPaper[2] = {{1.82, 0.91}, {2.13, 0.90}};  // mid-range, high-end
+
+void report(const bench::Options& options) {
+  const auto& sd = bench::standard_dataset(options);
+  bench::print_banner(std::cout, "Figure 7: AFR by number of interconnect paths", options,
+                      sd);
+
+  core::Filter no_h;
+  no_h.exclude_family_h = true;
+  const auto ds = sd.dataset.filter(no_h);
+
+  core::TextTable table({"class", "single PI AFR (99.9% CI)", "dual PI AFR (99.9% CI)",
+                         "PI reduction", "single total", "dual total", "total reduction",
+                         "z", "significant@99.9%", "paper PI single->dual"});
+  const model::SystemClass classes[2] = {model::SystemClass::kMidRange,
+                                         model::SystemClass::kHighEnd};
+  for (int i = 0; i < 2; ++i) {
+    core::Filter fs;
+    fs.system_class = classes[i];
+    fs.paths = model::PathConfig::kSinglePath;
+    core::Filter fd = fs;
+    fd.paths = model::PathConfig::kDualPath;
+    const auto cmp = core::compare_cohorts(ds.filter(fs), "single", ds.filter(fd), "dual",
+                                           FailureType::kPhysicalInterconnect, 0.999);
+    table.add_row({std::string(model::to_string(classes[i])),
+                   core::fmt(cmp.focus_ci_a.point, 2) + " [" +
+                       core::fmt(cmp.focus_ci_a.lower, 2) + "," +
+                       core::fmt(cmp.focus_ci_a.upper, 2) + "]",
+                   core::fmt(cmp.focus_ci_b.point, 2) + " [" +
+                       core::fmt(cmp.focus_ci_b.lower, 2) + "," +
+                       core::fmt(cmp.focus_ci_b.upper, 2) + "]",
+                   core::fmt_pct(cmp.focus_reduction(), 0),
+                   core::fmt(cmp.a.total_afr_pct(), 2), core::fmt(cmp.b.total_afr_pct(), 2),
+                   core::fmt_pct(cmp.total_reduction(), 0),
+                   core::fmt(cmp.focus_test.t_statistic, 1),
+                   cmp.significant_at(0.999) ? "yes" : "no",
+                   core::fmt(kPaper[i].single_pi, 2) + " -> " +
+                       core::fmt(kPaper[i].dual_pi, 2)});
+  }
+  bench::print_table(std::cout, table, options);
+  std::cout << "Paper: PI reduction 50-60%, subsystem reduction 30-40%, both classes "
+               "significant at 99.9%.\n"
+            << "The residual dual-path PI rate comes from backplane faults (multipathing "
+               "covers only the network segment) and imperfect path independence.\n";
+}
+
+void BM_MultipathComparison(benchmark::State& state) {
+  const auto sd = core::simulate_and_analyze(
+      model::standard_fleet_config(bench::kTimingScale, 1));
+  core::Filter fs;
+  fs.system_class = model::SystemClass::kHighEnd;
+  fs.paths = model::PathConfig::kSinglePath;
+  core::Filter fd = fs;
+  fd.paths = model::PathConfig::kDualPath;
+  const auto a = sd.dataset.filter(fs);
+  const auto b = sd.dataset.filter(fd);
+  for (auto _ : state) {
+    const auto cmp = core::compare_cohorts(a, "s", b, "d",
+                                           model::FailureType::kPhysicalInterconnect, 0.999);
+    benchmark::DoNotOptimize(cmp.focus_reduction());
+  }
+}
+BENCHMARK(BM_MultipathComparison)->Unit(benchmark::kMillisecond);
+
+void BM_AfrByPathConfig(benchmark::State& state) {
+  const auto sd = core::simulate_and_analyze(
+      model::standard_fleet_config(bench::kTimingScale, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::afr_by_path_config(sd.dataset).size());
+  }
+}
+BENCHMARK(BM_AfrByPathConfig)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  if (options.run_benchmarks) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  report(options);
+  return 0;
+}

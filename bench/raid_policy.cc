@@ -1,0 +1,105 @@
+// Extension — recovery-policy comparison under correlated failures.
+//
+// Answers the paper's opening motivation quantitatively: "how many resources
+// should be used to tolerate failures and to meet certain service-level
+// agreement (SLA) metrics". The failure history is replayed through RAID
+// state machines under different recovery policies; the output is the
+// SLA-facing numbers — data-loss incidents per 1000 group-years, degraded
+// time, zero-redundancy exposure — under the fleet's real (correlated,
+// bursty) failure behavior.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "core/burstiness.h"
+#include "sim/raid_recovery.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace storsubsim;
+
+void add_row(core::TextTable& table, const char* name, const sim::RecoveryResult& r) {
+  table.add_row(
+      {name, core::fmt(r.loss_rate_per_kilo_group_year(), 2),
+       std::to_string(r.data_loss_events_raid4), std::to_string(r.data_loss_events_raid6),
+       core::fmt_pct(r.degraded_fraction(), 3),
+       core::fmt(r.zero_redundancy_hours / std::max(1.0, r.group_years), 2) + " h/gy",
+       core::fmt_pct(r.rebuilds_total > 0
+                         ? static_cast<double>(r.rebuilds_stalled_on_spares) /
+                               static_cast<double>(r.rebuilds_total)
+                         : 0.0,
+                     1)});
+}
+
+void report(const bench::Options& options) {
+  std::cout << "\n================================================================\n"
+            << "Extension: recovery policies under correlated failures\n"
+            << "================================================================\n";
+  const double scale = std::min(options.scale, 0.3);
+  std::cout << "standard fleet at scale " << scale << " (seed " << options.seed << ")\n\n";
+  auto fs = sim::run_standard(scale, options.seed);
+
+  core::TextTable table({"policy", "losses / 1000 group-years", "RAID4 losses",
+                         "RAID6 losses", "degraded time", "zero-redundancy",
+                         "rebuilds stalled"});
+
+  sim::RecoveryPolicy base;  // 12 h rebuild, 2 spares, 3-day restock
+  add_row(table, "baseline (12 h rebuild, 2 spares)",
+          sim::replay_raid_recovery(fs.fleet, fs.result, base));
+
+  auto fast = base;
+  fast.rebuild_hours = 4.0;
+  add_row(table, "fast rebuild (4 h)", sim::replay_raid_recovery(fs.fleet, fs.result, fast));
+
+  auto slow = base;
+  slow.rebuild_hours = 48.0;
+  add_row(table, "slow rebuild (48 h, big disks)",
+          sim::replay_raid_recovery(fs.fleet, fs.result, slow));
+
+  auto no_spares = base;
+  no_spares.hot_spares_per_system = 0;
+  no_spares.spare_replenish_days = 3.0;
+  add_row(table, "no hot spares (3-day order)",
+          sim::replay_raid_recovery(fs.fleet, fs.result, no_spares));
+
+  auto many_spares = base;
+  many_spares.hot_spares_per_system = 6;
+  add_row(table, "deep spare pool (6)",
+          sim::replay_raid_recovery(fs.fleet, fs.result, many_spares));
+
+  auto disk_only = base;
+  disk_only.count_transient_failures = false;
+  add_row(table, "classical view: disk failures only",
+          sim::replay_raid_recovery(fs.fleet, fs.result, disk_only));
+
+  bench::print_table(std::cout, table, options);
+  std::cout << "The 'classical view' row is what a disk-only reliability analysis would "
+               "report; the baseline row shows what the whole storage subsystem actually "
+               "does to RAID (the paper's Finding 1 consequence). RAID6's margin over "
+               "RAID4 is the paper's burst-tolerance recommendation in action.\n";
+}
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  auto fs = sim::run_standard(bench::kTimingScale, 1);
+  const sim::RecoveryPolicy policy;
+  for (auto _ : state) {
+    const auto r = sim::replay_raid_recovery(fs.fleet, fs.result, policy);
+    benchmark::DoNotOptimize(r.data_loss_events_raid4);
+  }
+}
+BENCHMARK(BM_RecoveryReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  if (options.run_benchmarks) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  report(options);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Failure-model fitting: derive a fault-injection model from field data.
+//
+//   $ ./build/examples/failure_model_fitting
+//
+// Scenario: you are building a testbed and need a statistically grounded
+// fault-injection model (the paper's motivation #3: "understanding the
+// statistical properties ... is necessary to build right testbed and fault
+// injection models"). This example extracts per-type interarrival samples
+// from a simulated fleet, fits candidate distributions, runs goodness-of-fit
+// tests, and prints the model you should (and should not) inject with.
+#include <iostream>
+
+#include "core/burstiness.h"
+#include "core/distribution_fit.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "model/fleet_config.h"
+#include "stats/ecdf.h"
+
+using namespace storsubsim;
+
+int main() {
+  const auto sd = core::simulate_and_analyze(model::standard_fleet_config(0.15, 7),
+                                             sim::SimParams::standard(),
+                                             /*through_text_logs=*/false);
+  const auto tbf = core::time_between_failures(sd.dataset, core::Scope::kShelf);
+
+  std::cout << "Fitting interarrival models to per-shelf failure gaps ("
+            << sd.dataset.events().size() << " failures)\n\n";
+
+  for (const auto type : model::kAllFailureTypes) {
+    const auto& gaps = tbf.gaps[core::series_of(type)];
+    if (gaps.size() < 200) continue;
+    const auto report = core::fit_interarrivals(gaps, 15, 150);
+
+    std::cout << "== " << model::to_string(type) << " (" << gaps.size() << " gaps) ==\n";
+    core::TextTable table(
+        {"candidate", "parameters", "log-likelihood", "GoF p", "verdict"});
+    for (const auto& c : report.candidates) {
+      std::string params;
+      switch (c.family) {
+        case core::CandidateFamily::kExponential:
+          params = "rate=" + core::fmt(c.fit.param1 * 86400.0, 4) + "/day";
+          break;
+        default:
+          params = "shape=" + core::fmt(c.fit.param1, 3) +
+                   ", scale=" + core::fmt(c.fit.param2 / 86400.0, 1) + " days";
+      }
+      table.add_row({core::to_string(c.family), params,
+                     core::fmt(c.fit.log_likelihood, 0), core::fmt(c.gof.p_value, 3),
+                     c.rejected_at_005 ? "rejected @0.05" : "plausible"});
+    }
+    table.print(std::cout);
+
+    const auto& best = report.best_by_likelihood();
+    const auto* usable = report.best_non_rejected();
+    std::cout << "best by likelihood: " << core::to_string(best.family);
+    if (usable != nullptr) {
+      std::cout << "; inject with " << core::to_string(usable->family)
+                << " (not rejected)\n\n";
+    } else {
+      std::cout << "; NO single renewal model fits — these failures arrive in\n"
+                   "correlated bursts, so inject *clusters*, not independent events\n"
+                   "(see the simulator's incident processes for a generative recipe).\n\n";
+    }
+  }
+
+  // Quantify how wrong the classic exponential assumption would be.
+  const auto& disk_gaps = tbf.gaps[core::series_of(model::FailureType::kDisk)];
+  const stats::Ecdf ecdf(disk_gaps);
+  const auto exp_fit = core::fit_interarrivals(disk_gaps, 15, 150);
+  const auto exp_cdf = [&](double x) { return exp_fit.candidates[0].cdf(x); };
+  std::cout << "If you assumed exponential disk interarrivals (classic RAID math), the\n"
+               "probability of a second shelf failure within one day of the first would\n"
+               "be estimated at "
+            << core::fmt_pct(exp_cdf(86400.0), 2) << ", but the data says "
+            << core::fmt_pct(ecdf(86400.0), 2)
+            << " — resiliency mechanisms sized by the exponential model are "
+               "underprovisioned.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Log forensics: work with the AutoSupport-style text logs directly.
+//
+//   $ ./build/examples/log_forensics
+//
+// Scenario: a support engineer receives raw storage logs — including noise
+// from other subsystems and lines mangled in transit — and needs to answer
+// "what failed, when, and what kind of failure was it?". This example:
+//   1. renders the paper's Figure 3 propagation chain for each failure type,
+//   2. corrupts the stream (foreign lines, truncation, duplicate replay),
+//   3. parses + classifies it back and prints the recovered failure ledger.
+#include <iostream>
+#include <sstream>
+
+#include "core/report.h"
+#include "log/classifier.h"
+#include "log/emitter.h"
+#include "log/parser.h"
+#include "model/enums.h"
+#include "model/fleet.h"
+
+using namespace storsubsim;
+
+namespace {
+
+log::EmittableFailure make_failure(double t, model::FailureType type, std::uint32_t disk) {
+  log::EmittableFailure f;
+  f.detect_time = t;
+  f.type = type;
+  f.disk = model::DiskId(disk);
+  f.system = model::SystemId(3);
+  f.device_address = std::to_string(2 + disk % 4) + "." + std::to_string(16 + disk % 14);
+  f.serial = model::serial_for(f.disk);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. What a failure looks like in the logs -----------------------------
+  std::cout << "A physical interconnect failure propagating from the Fibre Channel\n"
+               "layer up to the RAID layer (the shape of the paper's Figure 3):\n\n";
+  const auto chain = log::propagation_chain(
+      make_failure(490416.0, model::FailureType::kPhysicalInterconnect, 24));
+  for (const auto& record : chain) {
+    std::cout << "  " << log::render_line(record) << "\n";
+  }
+
+  // --- 2. A messy log stream ------------------------------------------------
+  std::stringstream stream;
+  log::LogEmitter emitter(stream);
+  double t = 100000.0;
+  const model::FailureType kinds[] = {
+      model::FailureType::kDisk, model::FailureType::kPhysicalInterconnect,
+      model::FailureType::kPhysicalInterconnect, model::FailureType::kProtocol,
+      model::FailureType::kPerformance};
+  std::uint32_t disk = 10;
+  for (const auto type : kinds) {
+    emitter.emit(make_failure(t, type, disk));
+    t += 7200.0;
+    ++disk;
+  }
+  // Replay the interconnect terminal line (multipath reporting duplicates it).
+  emitter.emit(log::propagation_chain(
+      make_failure(100000.0 + 7200.0 + 30.0, model::FailureType::kPhysicalInterconnect,
+                   11))[5]);
+  // Foreign subsystem noise and a line mangled in transit.
+  stream << "nvram.battery.low: replace battery pack soon\n";
+  stream << "D0001 03:00:00 t=97200.000 [scsi.cmd.checkCondition:err";  // truncated
+
+  // --- 3. Parse and classify -------------------------------------------------
+  std::vector<log::LogRecord> records;
+  std::stringstream replay(stream.str());
+  const auto parse_stats = log::parse_stream(replay, records);
+  log::ClassifierStats classify_stats;
+  const auto failures = log::classify(records, {}, &classify_stats);
+
+  std::cout << "\nParsed " << parse_stats.lines_total << " lines: " << parse_stats.lines_parsed
+            << " records, " << parse_stats.lines_skipped << " foreign/blank, "
+            << parse_stats.lines_malformed << " malformed.\n"
+            << "RAID-layer records: " << classify_stats.raid_records << " ("
+            << classify_stats.duplicates_dropped << " duplicate report(s) collapsed).\n\n";
+
+  std::cout << "Recovered failure ledger:\n";
+  core::TextTable table({"detected at (s)", "disk", "failure type"});
+  for (const auto& f : failures) {
+    table.add_row({core::fmt(f.time, 0), std::to_string(f.disk.value()),
+                   std::string(model::to_string(f.type))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote how only RAID-layer terminal events become failures — the five\n"
+               "lower-layer precursors of each chain explain the failure but are not\n"
+               "counted (the paper's methodology, Section 2.5).\n";
+  return 0;
+}

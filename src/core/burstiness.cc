@@ -1,0 +1,96 @@
+#include "core/burstiness.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+namespace storsubsim::core {
+
+namespace {
+
+struct ScopedEvent {
+  double time;
+  std::uint32_t scope_id;
+  std::uint32_t disk;
+  std::uint8_t type;
+};
+
+}  // namespace
+
+BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
+  BurstinessResult result;
+  result.scope = scope;
+
+  // Bucket events by scope id.
+  std::vector<ScopedEvent> events;
+  events.reserve(dataset.events().size());
+  for (const auto& e : dataset.events()) {
+    const auto& disk = dataset.disk_of(e);
+    std::uint32_t scope_id;
+    if (scope == Scope::kShelf) {
+      scope_id = disk.shelf.value();
+    } else {
+      if (!disk.raid_group.valid()) continue;  // spare not in any group
+      scope_id = disk.raid_group.value();
+    }
+    events.push_back(ScopedEvent{e.time, scope_id, e.disk.value(),
+                                 static_cast<std::uint8_t>(model::index_of(e.type))});
+  }
+  // Sort by (scope, time) so each scope's stream is contiguous and ordered.
+  std::sort(events.begin(), events.end(), [](const ScopedEvent& a, const ScopedEvent& b) {
+    if (a.scope_id != b.scope_id) return a.scope_id < b.scope_id;
+    return a.time < b.time;
+  });
+
+  // Walk each scope's stream once per series. `last_time`/`last_disk` track
+  // the previously kept event of the series within the current scope.
+  struct SeriesState {
+    double last_time = -1.0;
+    std::uint32_t last_disk = 0;
+    bool has_last = false;
+  };
+  std::array<SeriesState, kSeriesCount> state{};
+  std::uint32_t current_scope = 0;
+  bool first = true;
+
+  for (const auto& ev : events) {
+    if (first || ev.scope_id != current_scope) {
+      state = {};
+      current_scope = ev.scope_id;
+      first = false;
+    }
+    for (const std::size_t series : {static_cast<std::size_t>(ev.type), kOverallSeries}) {
+      SeriesState& s = state[series];
+      if (s.has_last && s.last_disk == ev.disk) {
+        // Duplicate: same disk reporting again — refresh the anchor time so
+        // a later different-disk failure measures from the latest report,
+        // but record no gap.
+        s.last_time = ev.time;
+        continue;
+      }
+      if (s.has_last) {
+        result.gaps[series].push_back(ev.time - s.last_time);
+      }
+      s.last_time = ev.time;
+      s.last_disk = ev.disk;
+      s.has_last = true;
+    }
+  }
+  return result;
+}
+
+stats::Ecdf BurstinessResult::ecdf(std::size_t series) const {
+  return stats::Ecdf(gaps[series]);
+}
+
+double BurstinessResult::fraction_within(std::size_t series, double seconds) const {
+  const auto& g = gaps[series];
+  if (g.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const double x : g) {
+    if (x <= seconds) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(g.size());
+}
+
+}  // namespace storsubsim::core

@@ -1,0 +1,99 @@
+#include "core/distribution_fit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace storsubsim::core {
+
+std::string to_string(CandidateFamily family) {
+  switch (family) {
+    case CandidateFamily::kExponential: return "Exponential";
+    case CandidateFamily::kGamma: return "Gamma";
+    case CandidateFamily::kWeibull: return "Weibull";
+  }
+  return "unknown";
+}
+
+double CandidateFit::cdf(double x) const {
+  switch (family) {
+    case CandidateFamily::kExponential: return stats::to_exponential(fit).cdf(x);
+    case CandidateFamily::kGamma: return stats::to_gamma(fit).cdf(x);
+    case CandidateFamily::kWeibull: return stats::to_weibull(fit).cdf(x);
+  }
+  return 0.0;
+}
+
+const CandidateFit& FitReport::best_by_likelihood() const {
+  if (candidates.empty()) throw std::logic_error("FitReport: no candidates");
+  return *std::max_element(candidates.begin(), candidates.end(),
+                           [](const CandidateFit& a, const CandidateFit& b) {
+                             return a.fit.log_likelihood < b.fit.log_likelihood;
+                           });
+}
+
+const CandidateFit* FitReport::best_non_rejected() const {
+  const CandidateFit* best = nullptr;
+  for (const auto& c : candidates) {
+    if (c.rejected_at_005) continue;
+    if (best == nullptr || c.fit.log_likelihood > best->fit.log_likelihood) best = &c;
+  }
+  return best;
+}
+
+FitReport fit_interarrivals(std::span<const double> gaps, std::size_t gof_bins,
+                            std::size_t max_gof_sample) {
+  // Guard against zero gaps (events detected in the same scrub second):
+  // nudge them to a small positive value so the positive-support fitters and
+  // log-likelihoods stay defined.
+  std::vector<double> xs(gaps.begin(), gaps.end());
+  for (auto& x : xs) {
+    if (x <= 0.0) x = 1e-3;
+  }
+  if (xs.empty()) throw std::invalid_argument("fit_interarrivals: empty sample");
+
+  std::vector<double> gof_sample;
+  if (max_gof_sample != 0 && xs.size() > max_gof_sample) {
+    gof_sample.reserve(max_gof_sample);
+    const double stride = static_cast<double>(xs.size()) / static_cast<double>(max_gof_sample);
+    for (std::size_t i = 0; i < max_gof_sample; ++i) {
+      gof_sample.push_back(xs[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+    }
+  } else {
+    gof_sample = xs;
+  }
+
+  FitReport report;
+  report.sample_size = xs.size();
+
+  auto add = [&](CandidateFamily family, stats::FitResult fit, auto cdf, auto quantile,
+                 std::size_t params) {
+    CandidateFit c;
+    c.family = family;
+    c.fit = fit;
+    c.gof = stats::chi_square_gof(gof_sample, cdf, quantile, params, gof_bins);
+    c.rejected_at_005 = c.gof.rejected_at(0.05);
+    report.candidates.push_back(std::move(c));
+  };
+
+  {
+    const auto fit = stats::fit_exponential_mle(xs);
+    const auto d = stats::to_exponential(fit);
+    add(CandidateFamily::kExponential, fit, [d](double x) { return d.cdf(x); },
+        [d](double p) { return d.quantile(p); }, 1);
+  }
+  {
+    const auto fit = stats::fit_gamma_mle(xs);
+    const auto d = stats::to_gamma(fit);
+    add(CandidateFamily::kGamma, fit, [d](double x) { return d.cdf(x); },
+        [d](double p) { return d.quantile(p); }, 2);
+  }
+  {
+    const auto fit = stats::fit_weibull_mle(xs);
+    const auto d = stats::to_weibull(fit);
+    add(CandidateFamily::kWeibull, fit, [d](double x) { return d.cdf(x); },
+        [d](double p) { return d.quantile(p); }, 2);
+  }
+  return report;
+}
+
+}  // namespace storsubsim::core

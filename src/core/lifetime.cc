@@ -1,0 +1,59 @@
+#include "core/lifetime.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "model/time.h"
+
+namespace storsubsim::core {
+
+std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Dataset& dataset) {
+  // Which disks had a disk failure (the event that ends a record's life;
+  // other failure types leave the disk in place).
+  std::unordered_set<std::uint32_t> failed;
+  for (const auto& e : dataset.events()) {
+    if (e.type == model::FailureType::kDisk) failed.insert(e.disk.value());
+  }
+
+  const auto& inv = dataset.inventory();
+  std::vector<stats::SurvivalObservation> out;
+  out.reserve(inv.disks.size());
+  for (const auto& d : inv.disks) {
+    if (!dataset.system_selected(d.system)) continue;
+    const double start = std::max(0.0, d.install_time);
+    const double end = std::min(inv.horizon_seconds, d.remove_time);
+    if (end <= start) continue;  // never observed inside the window
+    stats::SurvivalObservation obs;
+    obs.duration = end - start;
+    // Only an in-window removal caused by a disk failure counts as an
+    // observed event; otherwise the record is censored at the horizon.
+    obs.event = failed.contains(d.id.value()) && d.remove_time <= inv.horizon_seconds;
+    out.push_back(obs);
+  }
+  return out;
+}
+
+LifetimeReport disk_lifetime_report(const Dataset& dataset,
+                                    std::vector<double> age_edges_days) {
+  if (age_edges_days.empty()) {
+    age_edges_days = {0.0, 30.0, 90.0, 180.0, 365.0, 730.0, 1340.0};
+  }
+  std::vector<double> edges_seconds;
+  edges_seconds.reserve(age_edges_days.size());
+  for (const double d : age_edges_days) edges_seconds.push_back(d * model::kSecondsPerDay);
+
+  const auto observations = disk_lifetime_observations(dataset);
+  LifetimeReport report;
+  report.disks = observations.size();
+  report.survival = stats::KaplanMeier::fit(observations);
+  report.failures = report.survival.total_events();
+  report.hazard_by_age = stats::hazard_by_age(observations, edges_seconds);
+  report.censored_fraction =
+      observations.empty()
+          ? 0.0
+          : 1.0 - static_cast<double>(report.failures) /
+                      static_cast<double>(observations.size());
+  return report;
+}
+
+}  // namespace storsubsim::core

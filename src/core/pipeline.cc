@@ -1,0 +1,64 @@
+#include "core/pipeline.h"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "log/classifier.h"
+#include "log/parser.h"
+#include "sim/log_bridge.h"
+
+namespace storsubsim::core {
+
+Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result,
+                         PipelineStats* stats) {
+  PipelineStats local;
+
+  // 1. Emit the failure logs and the config snapshot as text.
+  std::stringstream log_text;
+  local.log_lines_written = sim::write_failure_logs(log_text, fleet, result.failures);
+  std::stringstream snapshot_text;
+  log::write_snapshot(snapshot_text, fleet);
+
+  // 2. Parse them back.
+  std::vector<log::LogRecord> records;
+  const log::ParseStats parse_stats = log::parse_stream(log_text, records);
+  local.log_lines_parsed = parse_stats.lines_parsed;
+
+  auto snapshot = log::parse_snapshot(snapshot_text);
+  if (!snapshot.ok()) {
+    throw std::runtime_error("pipeline: snapshot round-trip failed: " + snapshot.error);
+  }
+
+  // 3. Classify RAID-layer records into failures and join.
+  log::ClassifierStats classifier_stats;
+  auto failures = log::classify(records, log::ClassifierOptions{}, &classifier_stats);
+  local.raid_records = classifier_stats.raid_records;
+  local.failures_classified = failures.size();
+
+  if (stats != nullptr) *stats = local;
+  return Dataset(std::make_shared<log::Inventory>(std::move(snapshot.inventory)),
+                 std::move(failures));
+}
+
+Dataset dataset_in_memory(const model::Fleet& fleet, const sim::SimResult& result) {
+  std::vector<FailureEvent> events;
+  events.reserve(result.failures.size());
+  for (const auto& f : result.failures) {
+    events.push_back(FailureEvent{f.detect_time, f.disk, f.system, f.type});
+  }
+  return Dataset(std::make_shared<log::Inventory>(log::inventory_from_fleet(fleet)),
+                 std::move(events));
+}
+
+SimulationDataset simulate_and_analyze(const model::FleetConfig& config,
+                                       const sim::SimParams& params, bool through_text_logs) {
+  sim::FleetSimulation simulation = sim::simulate_fleet(config, params);
+  PipelineStats pipeline;
+  Dataset dataset = through_text_logs
+                        ? dataset_via_logs(simulation.fleet, simulation.result, &pipeline)
+                        : dataset_in_memory(simulation.fleet, simulation.result);
+  return SimulationDataset{std::move(dataset), simulation.result.counters, pipeline};
+}
+
+}  // namespace storsubsim::core

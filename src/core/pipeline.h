@@ -1,0 +1,44 @@
+// End-to-end dataset construction: simulate -> emit text logs -> parse ->
+// classify -> join with the parsed snapshot. This mirrors how the paper's
+// data flowed (AutoSupport logs in, analysis out) and exercises every
+// substrate, so the benches and examples default to it. The in-memory
+// fast path (no text round-trip) is available for interactive use.
+#pragma once
+
+#include <cstdint>
+
+#include "core/dataset.h"
+#include "model/fleet_config.h"
+#include "sim/params.h"
+#include "sim/simulator.h"
+
+namespace storsubsim::core {
+
+struct PipelineStats {
+  std::size_t log_lines_written = 0;
+  std::size_t log_lines_parsed = 0;
+  std::size_t raid_records = 0;
+  std::size_t failures_classified = 0;
+};
+
+/// Builds a Dataset from an already-run simulation via the text-log
+/// round-trip (emit -> parse -> classify -> parse snapshot -> join).
+Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result,
+                         PipelineStats* stats = nullptr);
+
+/// Builds a Dataset directly from simulator output (no text round-trip).
+Dataset dataset_in_memory(const model::Fleet& fleet, const sim::SimResult& result);
+
+/// One-call convenience: build fleet, simulate, and return the dataset via
+/// the text-log path.
+struct SimulationDataset {
+  Dataset dataset;
+  sim::SimCounters counters;
+  PipelineStats pipeline;
+};
+
+SimulationDataset simulate_and_analyze(const model::FleetConfig& config,
+                                       const sim::SimParams& params = sim::SimParams::standard(),
+                                       bool through_text_logs = true);
+
+}  // namespace storsubsim::core

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+namespace storsubsim::core {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row, bool align_numeric) {
+    out << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      const bool right = align_numeric && looks_numeric(cell);
+      if (right) {
+        out << std::string(width[c] - cell.size(), ' ') << cell;
+      } else {
+        out << cell << std::string(width[c] - cell.size(), ' ');
+      }
+      out << (c + 1 < headers_.size() ? " | " : " |");
+    }
+    out << '\n';
+  };
+  print_row(headers_, false);
+  out << "|-";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(width[c], '-') << (c + 1 < headers_.size() ? "-|-" : "-|");
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row, true);
+}
+
+void TextTable::print_csv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(100.0 * fraction, precision) + "%";
+}
+
+}  // namespace storsubsim::core

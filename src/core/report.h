@@ -1,0 +1,35 @@
+// Plain-text table and CSV rendering for the experiment harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace storsubsim::core {
+
+/// Simple ASCII table builder: set headers, add string rows, stream out.
+/// Numeric cells are right-aligned automatically.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (no alignment, comma-escaped).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers used across benches.
+std::string fmt(double value, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);  ///< 0.42 -> "42.0%"
+
+}  // namespace storsubsim::core

@@ -1,0 +1,51 @@
+#include "log/classifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace storsubsim::log {
+
+std::vector<ClassifiedFailure> classify(std::span<const LogRecord> records,
+                                        const ClassifierOptions& options,
+                                        ClassifierStats* stats) {
+  ClassifierStats local;
+  std::vector<ClassifiedFailure> failures;
+  for (const auto& r : records) {
+    const auto type = failure_type_of_code(r.code);
+    if (!type) continue;  // precursor or unrelated RAID event
+    ++local.raid_records;
+    if (!r.disk.valid()) {
+      ++local.missing_disk_dropped;
+      continue;
+    }
+    failures.push_back(ClassifiedFailure{r.time, r.disk, r.system, *type});
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const ClassifiedFailure& a, const ClassifiedFailure& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.disk != b.disk) return a.disk < b.disk;
+              return static_cast<int>(a.type) < static_cast<int>(b.type);
+            });
+
+  // Collapse duplicates: same (disk, type) within the window keeps only the
+  // earliest record.
+  std::vector<ClassifiedFailure> out;
+  out.reserve(failures.size());
+  // Key: disk id * 4 + type index -> last kept time.
+  std::unordered_map<std::uint64_t, double> last_kept;
+  for (const auto& f : failures) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f.disk.value()) << 2u) | model::index_of(f.type);
+    const auto it = last_kept.find(key);
+    if (it != last_kept.end() && f.time - it->second < options.dedup_window_seconds) {
+      ++local.duplicates_dropped;
+      continue;
+    }
+    last_kept[key] = f.time;
+    out.push_back(f);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace storsubsim::log

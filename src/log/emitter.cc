@@ -1,0 +1,126 @@
+#include "log/emitter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace storsubsim::log {
+
+namespace {
+
+using model::FailureType;
+
+LogRecord make(double t, std::string code, Severity sev, const EmittableFailure& f,
+               std::string message) {
+  LogRecord r;
+  r.time = t;
+  r.code = std::move(code);
+  r.severity = sev;
+  r.disk = f.disk;
+  r.system = f.system;
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+std::vector<LogRecord> propagation_chain(const EmittableFailure& f) {
+  std::vector<LogRecord> chain;
+  const double t = f.detect_time;
+  const std::string& dev = f.device_address;
+  const std::string adapter = dev.substr(0, dev.find('.'));
+
+  switch (f.type) {
+    case FailureType::kPhysicalInterconnect:
+      // The exact shape of the paper's Figure 3 example.
+      chain.push_back(make(t - 166.0, "fci.device.timeout", Severity::kError, f,
+                           "Adapter " + adapter + " encountered a device timeout on device " +
+                               dev));
+      chain.push_back(make(t - 152.0, "fci.adapter.reset", Severity::kInfo, f,
+                           "Resetting Fibre Channel adapter " + adapter + "."));
+      chain.push_back(make(t - 152.0, "scsi.cmd.abortedByHost", Severity::kError, f,
+                           "Device " + dev + ": Command aborted by host adapter"));
+      chain.push_back(make(t - 130.0, "scsi.cmd.selectionTimeout", Severity::kError, f,
+                           "Device " + dev +
+                               ": Adapter/target error: Targeted device did not respond to "
+                               "requested I/O. I/O will be retried."));
+      chain.push_back(make(t - 120.0, "scsi.cmd.noMorePaths", Severity::kError, f,
+                           "Device " + dev + ": No more paths to device. All retries have "
+                                             "failed."));
+      chain.push_back(make(t, "raid.config.filesystem.disk.missing", Severity::kInfo, f,
+                           "File system Disk " + dev + " S/N [" + f.serial + "] is missing."));
+      break;
+
+    case FailureType::kDisk:
+      chain.push_back(make(t - 240.0, "disk.ioMediumError", Severity::kError, f,
+                           "Device " + dev + ": medium error during read, sector remap "
+                                             "attempted."));
+      chain.push_back(make(t - 90.0, "scsi.cmd.checkCondition", Severity::kError, f,
+                           "Device " + dev + ": check condition: hardware error, internal "
+                                             "target failure."));
+      chain.push_back(make(t, "raid.config.disk.failed", Severity::kError, f,
+                           "Disk " + dev + " S/N [" + f.serial +
+                               "] failed; marked for reconstruction."));
+      break;
+
+    case FailureType::kProtocol:
+      chain.push_back(make(t - 75.0, "scsi.cmd.protocolViolation", Severity::kError, f,
+                           "Device " + dev + ": unexpected response for tagged command; "
+                                             "protocol violation suspected."));
+      chain.push_back(make(t - 30.0, "scsi.cmd.retryExhausted", Severity::kError, f,
+                           "Device " + dev + ": command retries exhausted; responses remain "
+                                             "inconsistent."));
+      chain.push_back(make(t, "raid.disk.protocol.error", Severity::kError, f,
+                           "Disk " + dev + " S/N [" + f.serial +
+                               "] visible but I/O requests are not correctly responded."));
+      break;
+
+    case FailureType::kPerformance:
+      chain.push_back(make(t - 420.0, "scsi.cmd.slowResponse", Severity::kWarning, f,
+                           "Device " + dev + ": request latency exceeds service threshold."));
+      chain.push_back(make(t - 200.0, "scsi.cmd.slowResponse", Severity::kWarning, f,
+                           "Device " + dev + ": request latency exceeds service threshold."));
+      chain.push_back(make(t, "raid.disk.timeout.slow", Severity::kWarning, f,
+                           "Disk " + dev + " S/N [" + f.serial +
+                               "] cannot serve I/O requests in a timely manner."));
+      break;
+  }
+  return chain;
+}
+
+std::string render_timestamp(double sim_seconds) {
+  // Render as day/hh:mm:ss offsets from study start; analysis parses the raw
+  // seconds attribute instead, so this is purely cosmetic.
+  const double clamped = std::max(0.0, sim_seconds);
+  const long total = std::lround(std::floor(clamped));
+  const long days = total / 86400;
+  const long hours = (total % 86400) / 3600;
+  const long mins = (total % 3600) / 60;
+  const long secs = total % 60;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "D%04ld %02ld:%02ld:%02ld", days, hours, mins, secs);
+  return buf;
+}
+
+std::string render_line(const LogRecord& r) {
+  std::ostringstream os;
+  os << render_timestamp(r.time) << " t=" << std::fixed;
+  os.precision(3);
+  os << r.time << " [" << r.code << ":" << to_string(r.severity) << "]";
+  os << " [sys=" << (r.system.valid() ? std::to_string(r.system.value()) : std::string("-"))
+     << " disk=" << (r.disk.valid() ? std::to_string(r.disk.value()) : std::string("-"))
+     << "]: " << r.message;
+  return os.str();
+}
+
+void LogEmitter::emit(const LogRecord& record) {
+  *out_ << render_line(record) << '\n';
+  ++lines_;
+}
+
+void LogEmitter::emit(const EmittableFailure& failure) {
+  for (const auto& record : propagation_chain(failure)) emit(record);
+}
+
+}  // namespace storsubsim::log

@@ -1,0 +1,103 @@
+#include "log/parser.h"
+
+#include <charconv>
+#include <istream>
+#include <string>
+
+namespace storsubsim::log {
+
+namespace {
+
+/// Parses "name=value" where value is a decimal integer or '-'.
+std::optional<std::uint32_t> parse_id_attr(std::string_view text, std::string_view name) {
+  const auto pos = text.find(name);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string_view rest = text.substr(pos + name.size());
+  if (rest.starts_with("-")) return model::Id<model::DiskTag>::kInvalid;
+  std::uint32_t value = 0;
+  const auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), value);
+  if (ec != std::errc{} || ptr == rest.data()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<LogRecord> parse_line(std::string_view line) {
+  // Expected shape:
+  //   D0012 03:14:15 t=<seconds> [<code>:<severity>] [sys=N disk=N]: <message>
+  const auto t_pos = line.find(" t=");
+  if (t_pos == std::string_view::npos) return std::nullopt;
+
+  LogRecord record;
+  {
+    std::string_view rest = line.substr(t_pos + 3);
+    // std::from_chars for double is available in GCC >= 11.
+    double t = 0.0;
+    const auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), t);
+    if (ec != std::errc{}) return std::nullopt;
+    record.time = t;
+    line = std::string_view(ptr, static_cast<std::size_t>(rest.data() + rest.size() - ptr));
+  }
+
+  const auto code_open = line.find('[');
+  const auto code_close = line.find(']');
+  if (code_open == std::string_view::npos || code_close == std::string_view::npos ||
+      code_close <= code_open) {
+    return std::nullopt;
+  }
+  {
+    std::string_view code_sev = line.substr(code_open + 1, code_close - code_open - 1);
+    const auto colon = code_sev.rfind(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    record.code = std::string(code_sev.substr(0, colon));
+    const auto sev = parse_severity(code_sev.substr(colon + 1));
+    if (!sev) return std::nullopt;
+    record.severity = *sev;
+  }
+
+  std::string_view after = line.substr(code_close + 1);
+  const auto attr_open = after.find('[');
+  const auto attr_close = after.find(']');
+  if (attr_open == std::string_view::npos || attr_close == std::string_view::npos ||
+      attr_close <= attr_open) {
+    return std::nullopt;
+  }
+  {
+    std::string_view attrs = after.substr(attr_open + 1, attr_close - attr_open - 1);
+    const auto sys = parse_id_attr(attrs, "sys=");
+    const auto disk = parse_id_attr(attrs, "disk=");
+    if (!sys || !disk) return std::nullopt;
+    record.system = model::SystemId(*sys);
+    record.disk = model::DiskId(*disk);
+  }
+
+  std::string_view message = after.substr(attr_close + 1);
+  if (message.starts_with(": ")) message.remove_prefix(2);
+  record.message = std::string(message);
+  return record;
+}
+
+ParseStats parse_stream(std::istream& in, std::vector<LogRecord>& out) {
+  ParseStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++stats.lines_total;
+    if (line.empty() || line[0] == '#') {
+      ++stats.lines_skipped;
+      continue;
+    }
+    // Lines without our "t=" marker are foreign (other subsystems, console
+    // noise); lines with the marker that still fail to parse are malformed.
+    if (auto record = parse_line(line)) {
+      out.push_back(std::move(*record));
+      ++stats.lines_parsed;
+    } else if (line.find(" t=") != std::string::npos) {
+      ++stats.lines_malformed;
+    } else {
+      ++stats.lines_skipped;
+    }
+  }
+  return stats;
+}
+
+}  // namespace storsubsim::log

@@ -1,0 +1,30 @@
+// Parses AutoSupport-style text logs back into structured records.
+//
+// The parser is deliberately forgiving: real support logs contain lines from
+// every subsystem, many of which the analysis does not understand. Unknown
+// or malformed lines are counted, not fatal.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "log/record.h"
+
+namespace storsubsim::log {
+
+struct ParseStats {
+  std::size_t lines_total = 0;
+  std::size_t lines_parsed = 0;
+  std::size_t lines_skipped = 0;  ///< blank or recognizably foreign lines
+  std::size_t lines_malformed = 0;  ///< looked like ours but failed to parse
+};
+
+/// Parses a single rendered line; nullopt if the line is not a log record.
+std::optional<LogRecord> parse_line(std::string_view line);
+
+/// Parses an entire stream; appends parsed records to `out` in file order.
+ParseStats parse_stream(std::istream& in, std::vector<LogRecord>& out);
+
+}  // namespace storsubsim::log

@@ -1,0 +1,50 @@
+#include "log/record.h"
+
+namespace storsubsim::log {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::optional<Severity> parse_severity(std::string_view s) {
+  if (s == "info") return Severity::kInfo;
+  if (s == "warning") return Severity::kWarning;
+  if (s == "error") return Severity::kError;
+  return std::nullopt;
+}
+
+Layer layer_of_code(std::string_view code) {
+  if (code.starts_with("fci.")) return Layer::kFibreChannel;
+  if (code.starts_with("scsi.")) return Layer::kScsi;
+  if (code.starts_with("disk.")) return Layer::kDiskDriver;
+  if (code.starts_with("raid.")) return Layer::kRaid;
+  return Layer::kOther;
+}
+
+std::string_view raid_code_for(model::FailureType type) {
+  switch (type) {
+    case model::FailureType::kDisk:
+      return "raid.config.disk.failed";
+    case model::FailureType::kPhysicalInterconnect:
+      return "raid.config.filesystem.disk.missing";
+    case model::FailureType::kProtocol:
+      return "raid.disk.protocol.error";
+    case model::FailureType::kPerformance:
+      return "raid.disk.timeout.slow";
+  }
+  return "raid.unknown";
+}
+
+std::optional<model::FailureType> failure_type_of_code(std::string_view code) {
+  for (const auto t : model::kAllFailureTypes) {
+    if (code == raid_code_for(t)) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace storsubsim::log

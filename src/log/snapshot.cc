@@ -1,0 +1,259 @@
+#include "log/snapshot.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "model/fleet.h"
+#include "model/time.h"
+
+namespace storsubsim::log {
+
+namespace {
+
+using model::DiskId;
+using model::RaidGroupId;
+using model::ShelfId;
+using model::SystemId;
+
+std::string fmt_time(double t) {
+  if (std::isinf(t)) return "inf";
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << t;
+  return os.str();
+}
+
+/// Splits "key=value" tokens out of a line.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view line) : line_(line) {}
+
+  /// Finds "key=" and returns the value up to the next space.
+  std::optional<std::string_view> get(std::string_view key) const {
+    std::string needle = std::string(key) + "=";
+    std::size_t pos = 0;
+    while (true) {
+      pos = line_.find(needle, pos);
+      if (pos == std::string_view::npos) return std::nullopt;
+      // Must be at start or preceded by a space to avoid matching suffixes
+      // ("model=" inside "disk-model=").
+      if (pos == 0 || line_[pos - 1] == ' ') break;
+      pos += needle.size();
+    }
+    const std::size_t start = pos + needle.size();
+    const std::size_t end = line_.find(' ', start);
+    return line_.substr(start, end == std::string_view::npos ? line_.size() - start
+                                                             : end - start);
+  }
+
+  std::optional<std::uint32_t> get_u32(std::string_view key) const {
+    const auto v = get(key);
+    if (!v) return std::nullopt;
+    if (*v == "-") return model::Id<model::DiskTag>::kInvalid;
+    std::uint32_t out = 0;
+    const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+    if (ec != std::errc{} || ptr != v->data() + v->size()) return std::nullopt;
+    return out;
+  }
+
+  std::optional<double> get_time(std::string_view key) const {
+    const auto v = get(key);
+    if (!v) return std::nullopt;
+    if (*v == "inf") return std::numeric_limits<double>::infinity();
+    double out = 0.0;
+    const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+    if (ec != std::errc{} || ptr != v->data() + v->size()) return std::nullopt;
+    return out;
+  }
+
+ private:
+  std::string_view line_;
+};
+
+}  // namespace
+
+double Inventory::disk_exposure_years(const InventoryDisk& disk) const {
+  const double start = std::max(0.0, disk.install_time);
+  const double end = std::min(horizon_seconds, disk.remove_time);
+  return end > start ? model::years(end - start) : 0.0;
+}
+
+void write_snapshot(std::ostream& out, const model::Fleet& fleet) {
+  out << "SNAPSHOT horizon=" << fmt_time(fleet.horizon_seconds()) << '\n';
+  for (const auto& s : fleet.systems()) {
+    out << "SYSTEM id=" << s.id.value() << " class=" << model::to_string(s.cls)
+        << " paths=" << model::to_string(s.paths)
+        << " disk-model=" << model::to_string(s.disk_model)
+        << " shelf-model=" << model::to_string(s.shelf_model)
+        << " deploy=" << fmt_time(s.deploy_time) << " cohort=" << s.cohort << '\n';
+  }
+  for (const auto& sh : fleet.shelves()) {
+    out << "SHELF id=" << sh.id.value() << " sys=" << sh.system.value()
+        << " model=" << model::to_string(sh.model) << '\n';
+  }
+  for (const auto& g : fleet.raid_groups()) {
+    out << "GROUP id=" << g.id.value() << " sys=" << g.system.value()
+        << " type=" << model::to_string(g.type) << " members=" << g.members.size()
+        << " span=" << g.shelf_span() << '\n';
+  }
+  for (const auto& d : fleet.disks()) {
+    out << "DISK id=" << d.id.value() << " model=" << model::to_string(d.model)
+        << " sys=" << d.system.value() << " shelf=" << d.shelf.value() << " group="
+        << (d.raid_group.valid() ? std::to_string(d.raid_group.value()) : std::string("-"))
+        << " slot=" << d.slot << " install=" << fmt_time(d.install_time)
+        << " remove=" << fmt_time(d.remove_time) << '\n';
+  }
+  out << "END\n";
+}
+
+Inventory inventory_from_fleet(const model::Fleet& fleet) {
+  Inventory inv;
+  inv.horizon_seconds = fleet.horizon_seconds();
+  inv.systems.reserve(fleet.systems().size());
+  for (const auto& s : fleet.systems()) {
+    inv.systems.push_back(InventorySystem{s.id, s.cls, s.paths, s.disk_model, s.shelf_model,
+                                          s.deploy_time, s.cohort});
+  }
+  inv.shelves.reserve(fleet.shelves().size());
+  for (const auto& sh : fleet.shelves()) {
+    inv.shelves.push_back(InventoryShelf{sh.id, sh.system, sh.model});
+  }
+  inv.raid_groups.reserve(fleet.raid_groups().size());
+  for (const auto& g : fleet.raid_groups()) {
+    inv.raid_groups.push_back(InventoryRaidGroup{
+        g.id, g.system, g.type, static_cast<std::uint32_t>(g.members.size()), g.shelf_span()});
+  }
+  inv.disks.reserve(fleet.disks().size());
+  for (const auto& d : fleet.disks()) {
+    inv.disks.push_back(InventoryDisk{d.id, d.model, d.system, d.shelf, d.raid_group, d.slot,
+                                      d.install_time, d.remove_time});
+  }
+  return inv;
+}
+
+SnapshotParseResult parse_snapshot(std::istream& in) {
+  SnapshotParseResult result;
+  Inventory& inv = result.inventory;
+  std::string line;
+  bool saw_header = false;
+  bool saw_end = false;
+
+  auto fail = [&](const std::string& why) {
+    result.error = "snapshot line " + std::to_string(result.lines) + ": " + why;
+  };
+
+  while (std::getline(in, line)) {
+    ++result.lines;
+    if (line.empty() || line[0] == '#') continue;
+    const TokenReader tokens{line};
+
+    if (line.starts_with("SNAPSHOT ")) {
+      const auto horizon = tokens.get_time("horizon");
+      if (!horizon) return fail("bad SNAPSHOT header"), result;
+      inv.horizon_seconds = *horizon;
+      saw_header = true;
+    } else if (line.starts_with("SYSTEM ")) {
+      InventorySystem s;
+      const auto id = tokens.get_u32("id");
+      const auto cls = tokens.get("class");
+      const auto paths = tokens.get("paths");
+      const auto dm = tokens.get("disk-model");
+      const auto sm = tokens.get("shelf-model");
+      const auto deploy = tokens.get_time("deploy");
+      const auto cohort = tokens.get_u32("cohort");
+      if (!id || !cls || !paths || !dm || !sm || !deploy || !cohort) {
+        return fail("bad SYSTEM record"), result;
+      }
+      const auto cls_v = model::parse_system_class(*cls);
+      const auto paths_v = model::parse_path_config(*paths);
+      const auto dm_v = model::parse_disk_model_name(*dm);
+      const auto sm_v = model::parse_shelf_model_name(*sm);
+      if (!cls_v || !paths_v || !dm_v || !sm_v) return fail("bad SYSTEM enum"), result;
+      s.id = SystemId(*id);
+      s.cls = *cls_v;
+      s.paths = *paths_v;
+      s.disk_model = *dm_v;
+      s.shelf_model = *sm_v;
+      s.deploy_time = *deploy;
+      s.cohort = *cohort;
+      if (s.id.value() != inv.systems.size()) return fail("SYSTEM ids not dense"), result;
+      inv.systems.push_back(s);
+    } else if (line.starts_with("SHELF ")) {
+      const auto id = tokens.get_u32("id");
+      const auto sys = tokens.get_u32("sys");
+      const auto m = tokens.get("model");
+      if (!id || !sys || !m) return fail("bad SHELF record"), result;
+      const auto m_v = model::parse_shelf_model_name(*m);
+      if (!m_v) return fail("bad SHELF model"), result;
+      if (*id != inv.shelves.size()) return fail("SHELF ids not dense"), result;
+      inv.shelves.push_back(InventoryShelf{ShelfId(*id), SystemId(*sys), *m_v});
+    } else if (line.starts_with("GROUP ")) {
+      const auto id = tokens.get_u32("id");
+      const auto sys = tokens.get_u32("sys");
+      const auto type = tokens.get("type");
+      const auto members = tokens.get_u32("members");
+      const auto span = tokens.get_u32("span");
+      if (!id || !sys || !type || !members || !span) return fail("bad GROUP record"), result;
+      const auto type_v = model::parse_raid_type(*type);
+      if (!type_v) return fail("bad GROUP type"), result;
+      if (*id != inv.raid_groups.size()) return fail("GROUP ids not dense"), result;
+      inv.raid_groups.push_back(
+          InventoryRaidGroup{RaidGroupId(*id), SystemId(*sys), *type_v, *members, *span});
+    } else if (line.starts_with("DISK ")) {
+      const auto id = tokens.get_u32("id");
+      const auto m = tokens.get("model");
+      const auto sys = tokens.get_u32("sys");
+      const auto shelf = tokens.get_u32("shelf");
+      const auto group = tokens.get_u32("group");
+      const auto slot = tokens.get_u32("slot");
+      const auto install = tokens.get_time("install");
+      const auto remove = tokens.get_time("remove");
+      if (!id || !m || !sys || !shelf || !group || !slot || !install || !remove) {
+        return fail("bad DISK record"), result;
+      }
+      const auto m_v = model::parse_disk_model_name(*m);
+      if (!m_v) return fail("bad DISK model"), result;
+      if (*id != inv.disks.size()) return fail("DISK ids not dense"), result;
+      inv.disks.push_back(InventoryDisk{DiskId(*id), *m_v, SystemId(*sys), ShelfId(*shelf),
+                                        RaidGroupId(*group), *slot, *install, *remove});
+    } else if (line == "END") {
+      saw_end = true;
+      break;
+    } else {
+      return fail("unrecognized record: " + line.substr(0, 32)), result;
+    }
+  }
+
+  if (!saw_header) result.error = "snapshot: missing SNAPSHOT header";
+  if (saw_header && !saw_end) result.error = "snapshot: missing END marker";
+
+  // Referential integrity.
+  if (result.ok()) {
+    for (const auto& sh : inv.shelves) {
+      if (sh.system.value() >= inv.systems.size()) {
+        result.error = "snapshot: SHELF references unknown system";
+        return result;
+      }
+    }
+    for (const auto& g : inv.raid_groups) {
+      if (g.system.value() >= inv.systems.size()) {
+        result.error = "snapshot: GROUP references unknown system";
+        return result;
+      }
+    }
+    for (const auto& d : inv.disks) {
+      if (d.system.value() >= inv.systems.size() || d.shelf.value() >= inv.shelves.size() ||
+          (d.raid_group.valid() && d.raid_group.value() >= inv.raid_groups.size())) {
+        result.error = "snapshot: DISK references unknown entity";
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace storsubsim::log

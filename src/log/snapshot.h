@@ -1,0 +1,95 @@
+// Configuration snapshots: the inventory side of the support logs.
+//
+// The studied systems copy their configuration into the logs weekly (paper
+// §2.5); the analysis joins failure events with this inventory to know which
+// shelf/RAID group/model a failed disk belonged to, and to account exposure
+// time. We serialize a complete inventory (systems, shelves, disks with
+// install/remove times, RAID groups) as a text section and parse it back
+// into a plain `Inventory` that the analysis layer consumes — keeping the
+// analysis decoupled from the simulator's live Fleet object.
+#pragma once
+
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "model/disk_model.h"
+#include "model/enums.h"
+#include "model/ids.h"
+#include "model/shelf_model.h"
+
+namespace storsubsim::model {
+class Fleet;
+}
+
+namespace storsubsim::log {
+
+struct InventorySystem {
+  model::SystemId id;
+  model::SystemClass cls = model::SystemClass::kNearLine;
+  model::PathConfig paths = model::PathConfig::kSinglePath;
+  model::DiskModelName disk_model;
+  model::ShelfModelName shelf_model;
+  double deploy_time = 0.0;
+  std::uint32_t cohort = 0;
+};
+
+struct InventoryShelf {
+  model::ShelfId id;
+  model::SystemId system;
+  model::ShelfModelName model;
+};
+
+struct InventoryDisk {
+  model::DiskId id;
+  model::DiskModelName model;
+  model::SystemId system;
+  model::ShelfId shelf;
+  model::RaidGroupId raid_group;
+  std::uint32_t slot = 0;
+  double install_time = 0.0;
+  double remove_time = std::numeric_limits<double>::infinity();
+};
+
+struct InventoryRaidGroup {
+  model::RaidGroupId id;
+  model::SystemId system;
+  model::RaidType type = model::RaidType::kRaid4;
+  std::uint32_t member_count = 0;
+  std::uint32_t shelf_span = 0;
+};
+
+/// The complete joined inventory. Entries are indexed by their dense ids
+/// (entry i has id i), which the parser verifies.
+struct Inventory {
+  std::vector<InventorySystem> systems;
+  std::vector<InventoryShelf> shelves;
+  std::vector<InventoryDisk> disks;
+  std::vector<InventoryRaidGroup> raid_groups;
+  double horizon_seconds = 0.0;
+
+  /// Exposure of a disk record in years, clipped to [0, horizon].
+  double disk_exposure_years(const InventoryDisk& disk) const;
+};
+
+/// Serializes the fleet's full inventory (including retired disk records).
+void write_snapshot(std::ostream& out, const model::Fleet& fleet);
+
+/// Result of parsing a snapshot; `error` is empty on success.
+struct SnapshotParseResult {
+  Inventory inventory;
+  std::string error;
+  std::size_t lines = 0;
+
+  bool ok() const { return error.empty(); }
+};
+
+SnapshotParseResult parse_snapshot(std::istream& in);
+
+/// Builds the same Inventory directly from a live fleet (bypassing text) —
+/// used by tests to verify write/parse round-trips and by callers that do
+/// not need the end-to-end path.
+Inventory inventory_from_fleet(const model::Fleet& fleet);
+
+}  // namespace storsubsim::log

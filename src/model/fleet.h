@@ -1,0 +1,88 @@
+// The materialized fleet: every system, shelf, disk and RAID group, plus
+// disk install/replace records for exposure accounting.
+//
+// A Fleet is built deterministically from a FleetConfig (same config + seed
+// => identical fleet). The simulator mutates it only through `replace_disk`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/fleet_config.h"
+#include "model/topology.h"
+
+namespace storsubsim::model {
+
+class Fleet {
+ public:
+  /// Builds a fleet from `config` using the standard model registries.
+  static Fleet build(const FleetConfig& config);
+
+  static Fleet build(const FleetConfig& config, const DiskModelRegistry& disk_models,
+                     const ShelfModelRegistry& shelf_models);
+
+  // --- accessors ----------------------------------------------------------
+
+  const FleetConfig& config() const { return config_; }
+  double horizon_seconds() const { return config_.horizon_seconds; }
+
+  std::span<const System> systems() const { return systems_; }
+  std::span<const Shelf> shelves() const { return shelves_; }
+  std::span<const RaidGroup> raid_groups() const { return raid_groups_; }
+  /// Every disk record ever installed (includes replaced disks).
+  std::span<const DiskRecord> disks() const { return disks_; }
+
+  const System& system(SystemId id) const { return systems_[id.value()]; }
+  const Shelf& shelf(ShelfId id) const { return shelves_[id.value()]; }
+  const RaidGroup& raid_group(RaidGroupId id) const { return raid_groups_[id.value()]; }
+  const DiskRecord& disk(DiskId id) const { return disks_[id.value()]; }
+
+  const DiskModelRegistry& disk_models() const { return *disk_models_; }
+  const ShelfModelRegistry& shelf_models() const { return *shelf_models_; }
+
+  /// Current occupant of a slot (invalid id if empty).
+  DiskId disk_in(const SlotRef& ref) const;
+
+  /// Occupant of a slot at time `t`, walking the replacement chain backwards
+  /// from the current occupant. Invalid id if the slot was empty (repair
+  /// gap) or not yet populated at `t`.
+  DiskId occupant_at(const SlotRef& ref, double t) const;
+
+  // --- mutation (simulator only) ------------------------------------------
+
+  /// Retires `failed` at `remove_time` and installs a fresh disk of the same
+  /// model into the same slot at `install_time`. Returns the new disk's id.
+  DiskId replace_disk(DiskId failed, double remove_time, double install_time);
+
+  // --- derived quantities ---------------------------------------------------
+
+  /// Exposure of one disk record in years, clipped to [0, horizon].
+  double disk_exposure_years(const DiskRecord& disk) const;
+
+  /// Total disk exposure of the whole fleet in disk-years.
+  double total_disk_exposure_years() const;
+
+  std::size_t initial_disk_count() const { return initial_disk_count_; }
+
+ private:
+  Fleet(const FleetConfig& config, const DiskModelRegistry& disk_models,
+        const ShelfModelRegistry& shelf_models);
+
+  FleetConfig config_;
+  const DiskModelRegistry* disk_models_;
+  const ShelfModelRegistry* shelf_models_;
+
+  std::vector<System> systems_;
+  std::vector<Shelf> shelves_;
+  std::vector<RaidGroup> raid_groups_;
+  std::vector<DiskRecord> disks_;
+  std::size_t initial_disk_count_ = 0;
+};
+
+/// Pseudo serial number for log lines, stable per disk id (the paper's logs
+/// identify disks as "S/N [3EL03PAV00007111LR8W]").
+std::string serial_for(DiskId id);
+
+}  // namespace storsubsim::model

@@ -1,0 +1,54 @@
+// Strong ID types for fleet entities.
+//
+// All IDs are dense indices into the owning Fleet's vectors, wrapped so a
+// DiskId cannot be passed where a ShelfId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace storsubsim::model {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying = std::uint32_t;
+  static constexpr underlying kInvalid = std::numeric_limits<underlying>::max();
+
+  constexpr Id() noexcept : value_(kInvalid) {}
+  constexpr explicit Id(underlying v) noexcept : value_(v) {}
+
+  constexpr underlying value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) noexcept { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) noexcept { return a.value_ < b.value_; }
+
+ private:
+  underlying value_;
+};
+
+struct SystemTag {};
+struct ShelfTag {};
+struct DiskTag {};
+struct RaidGroupTag {};
+struct PathTag {};
+
+using SystemId = Id<SystemTag>;
+using ShelfId = Id<ShelfTag>;
+using DiskId = Id<DiskTag>;
+using RaidGroupId = Id<RaidGroupTag>;
+using PathId = Id<PathTag>;
+
+}  // namespace storsubsim::model
+
+namespace std {
+template <typename Tag>
+struct hash<storsubsim::model::Id<Tag>> {
+  size_t operator()(storsubsim::model::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,75 @@
+// Shelf enclosure model registry.
+//
+// All shelf enclosure models studied in the paper host at most 14 disks.
+// A shelf provides power, cooling, and the prewired backplane; its model
+// primarily determines the *physical interconnect* hazard of the disks it
+// hosts (paper Section 4.2), with per-disk-family interoperability quirks
+// (Finding 6: different shelf models work better with different disk models).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace storsubsim::model {
+
+inline constexpr std::uint32_t kShelfSlots = 14;
+
+struct ShelfModelName {
+  char letter = '?';
+
+  friend bool operator==(const ShelfModelName&, const ShelfModelName&) = default;
+  friend auto operator<=>(const ShelfModelName&, const ShelfModelName&) = default;
+};
+
+std::string to_string(const ShelfModelName& name);
+std::optional<ShelfModelName> parse_shelf_model_name(std::string_view s);
+
+/// Interoperability quirk: a multiplier on the physical-interconnect hazard
+/// when this shelf model hosts a particular disk model. `capacity_index == 0`
+/// matches every model in the family; a nonzero index matches exactly one
+/// model (Figure 6 shows the shelf preference flipping *within* family A
+/// between A-2 and A-3, so quirks must resolve at model granularity).
+struct InteropQuirk {
+  char disk_family = '?';
+  int capacity_index = 0;  // 0 = any model in the family
+  double interconnect_multiplier = 1.0;
+};
+
+struct ShelfModelInfo {
+  ShelfModelName name;
+  std::uint32_t slots = kShelfSlots;
+  /// Baseline annualized physical-interconnect failure rate contributed to
+  /// each hosted disk, percent per disk-year, before class/path adjustments.
+  double interconnect_afr_pct = 2.0;
+  /// Fraction of the interconnect hazard attributable to the shelf backplane
+  /// and intra-shelf wiring. Multipathing cannot mask this portion (paper
+  /// Section 4.3 explains why dual paths fall short of the idealized rate).
+  double backplane_fraction = 0.25;
+  std::vector<InteropQuirk> quirks;
+
+  /// Combined quirk multiplier for a specific disk model; exact-model quirks
+  /// take precedence over family-wide quirks.
+  double quirk_multiplier(char disk_family, int capacity_index) const;
+};
+
+class ShelfModelRegistry {
+ public:
+  /// Calibrated default registry: shelf models A, B (primary systems) and C
+  /// (near-line / mid-range).
+  static const ShelfModelRegistry& standard();
+
+  explicit ShelfModelRegistry(std::vector<ShelfModelInfo> models);
+
+  const ShelfModelInfo* find(const ShelfModelName& name) const;
+  const ShelfModelInfo& at(const ShelfModelName& name) const;
+  std::span<const ShelfModelInfo> all() const { return models_; }
+
+ private:
+  std::vector<ShelfModelInfo> models_;
+};
+
+}  // namespace storsubsim::model

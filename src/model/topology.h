@@ -1,0 +1,80 @@
+// Materialized fleet topology: systems, shelves, slots, disks, RAID groups.
+//
+// Mirrors the paper's Figure 1 (storage system architecture) and Figure 8
+// (disk layout in shelves and RAID groups). RAID group membership is
+// positional — a group owns (shelf, slot) positions, so a replacement disk
+// installed into a slot joins the group that owns the slot.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "model/disk_model.h"
+#include "model/enums.h"
+#include "model/ids.h"
+#include "model/shelf_model.h"
+
+namespace storsubsim::model {
+
+/// A slot position within a shelf; the unit of RAID group membership.
+struct SlotRef {
+  ShelfId shelf;
+  std::uint32_t slot = 0;
+
+  friend bool operator==(const SlotRef&, const SlotRef&) = default;
+};
+
+/// One physical disk's tenure in a slot. Replacements create new records;
+/// the exposure time of a record is [install_time, remove_time) clipped to
+/// the study window.
+struct DiskRecord {
+  DiskId id;
+  DiskModelName model;
+  SystemId system;
+  ShelfId shelf;
+  RaidGroupId raid_group;
+  /// Previous occupant of the same slot (invalid for the initial disk).
+  DiskId predecessor;
+  std::uint32_t slot = 0;
+  double install_time = 0.0;
+  double remove_time = std::numeric_limits<double>::infinity();
+
+  bool installed_at(double t) const { return t >= install_time && t < remove_time; }
+};
+
+struct Shelf {
+  ShelfId id;
+  SystemId system;
+  ShelfModelName model;
+  std::uint32_t index_in_system = 0;
+  /// Current occupant per slot (invalid id = empty slot).
+  std::array<DiskId, kShelfSlots> slots{};
+  std::uint32_t occupied_slots = 0;
+};
+
+struct RaidGroup {
+  RaidGroupId id;
+  SystemId system;
+  RaidType type = RaidType::kRaid4;
+  std::vector<SlotRef> members;
+
+  /// Number of distinct shelves the group spans.
+  std::uint32_t shelf_span() const;
+};
+
+struct System {
+  SystemId id;
+  SystemClass cls = SystemClass::kNearLine;
+  PathConfig paths = PathConfig::kSinglePath;
+  DiskModelName disk_model;  ///< the (homogeneous) disk model of this system
+  ShelfModelName shelf_model;
+  double deploy_time = 0.0;
+  std::vector<ShelfId> shelves;
+  std::vector<RaidGroupId> raid_groups;
+  /// Index of the cohort in the FleetConfig this system was built from.
+  std::uint32_t cohort = 0;
+};
+
+}  // namespace storsubsim::model

@@ -1,0 +1,90 @@
+#include "sim/log_bridge.h"
+
+#include <ostream>
+#include <string>
+
+#include "log/emitter.h"
+
+namespace storsubsim::sim {
+
+std::string device_address(const model::Fleet& fleet, model::DiskId disk) {
+  const auto& record = fleet.disk(disk);
+  const auto& shelf = fleet.shelf(record.shelf);
+  // FC loop addressing flavor: adapter number from the shelf's position in
+  // the system, target offset by 16 as in the paper's "8.24" example.
+  return std::to_string(shelf.index_in_system + 1) + "." + std::to_string(record.slot + 16);
+}
+
+std::size_t write_failure_logs(std::ostream& out, const model::Fleet& fleet,
+                               std::span<const SimFailure> failures) {
+  storsubsim::log::LogEmitter emitter(out);
+  for (const auto& f : failures) {
+    storsubsim::log::EmittableFailure e;
+    e.detect_time = f.detect_time;
+    e.type = f.type;
+    e.disk = f.disk;
+    e.system = f.system;
+    e.device_address = device_address(fleet, f.disk);
+    e.serial = model::serial_for(f.disk);
+    emitter.emit(e);
+  }
+  return emitter.lines_written();
+}
+
+std::string_view code_for(PrecursorKind kind) {
+  switch (kind) {
+    case PrecursorKind::kMediumError: return "disk.ioMediumError";
+    case PrecursorKind::kLinkReset: return "fci.link.reset";
+    case PrecursorKind::kCmdTimeout: return "scsi.cmd.slowCompletion";
+  }
+  return "unknown";
+}
+
+std::optional<PrecursorKind> precursor_kind_of_code(std::string_view code) {
+  for (const auto kind : {PrecursorKind::kMediumError, PrecursorKind::kLinkReset,
+                          PrecursorKind::kCmdTimeout}) {
+    if (code == code_for(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::size_t write_precursor_logs(std::ostream& out, const model::Fleet& fleet,
+                                 std::span<const PrecursorEvent> events) {
+  storsubsim::log::LogEmitter emitter(out);
+  for (const auto& e : events) {
+    storsubsim::log::LogRecord record;
+    record.time = e.time;
+    record.code = std::string(code_for(e.kind));
+    record.severity = e.kind == PrecursorKind::kCmdTimeout
+                          ? storsubsim::log::Severity::kWarning
+                          : storsubsim::log::Severity::kError;
+    record.disk = e.disk;
+    record.system = e.system;
+    const std::string dev = device_address(fleet, e.disk);
+    switch (e.kind) {
+      case PrecursorKind::kMediumError:
+        record.message = "Device " + dev + ": medium error, sector remapped.";
+        break;
+      case PrecursorKind::kLinkReset:
+        record.message = "Device " + dev + ": Fibre Channel link reset.";
+        break;
+      case PrecursorKind::kCmdTimeout:
+        record.message = "Device " + dev + ": command completion exceeded threshold.";
+        break;
+    }
+    emitter.emit(record);
+  }
+  return emitter.lines_written();
+}
+
+std::vector<PrecursorEvent> extract_precursors(std::span<const log::LogRecord> records) {
+  std::vector<PrecursorEvent> out;
+  for (const auto& r : records) {
+    const auto kind = precursor_kind_of_code(r.code);
+    if (!kind || !r.disk.valid()) continue;
+    out.push_back(PrecursorEvent{r.time, r.disk, r.system, *kind});
+  }
+  return out;
+}
+
+}  // namespace storsubsim::sim

@@ -1,0 +1,158 @@
+#include "sim/precursors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace storsubsim::sim {
+
+namespace {
+
+using model::DiskRecord;
+using model::FailureType;
+using stats::Rng;
+
+PrecursorKind kind_for(FailureType type) {
+  switch (type) {
+    case FailureType::kDisk: return PrecursorKind::kMediumError;
+    case FailureType::kPhysicalInterconnect: return PrecursorKind::kLinkReset;
+    case FailureType::kPerformance: return PrecursorKind::kCmdTimeout;
+    case FailureType::kProtocol: return PrecursorKind::kCmdTimeout;
+  }
+  return PrecursorKind::kMediumError;
+}
+
+}  // namespace
+
+std::string_view to_string(PrecursorKind kind) {
+  switch (kind) {
+    case PrecursorKind::kMediumError: return "medium-error";
+    case PrecursorKind::kLinkReset: return "link-reset";
+    case PrecursorKind::kCmdTimeout: return "cmd-timeout";
+  }
+  return "unknown";
+}
+
+std::vector<PrecursorEvent> generate_precursors(const model::Fleet& fleet,
+                                                const SimResult& result,
+                                                const PrecursorParams& params) {
+  std::vector<PrecursorEvent> events;
+  Rng root = stats::make_root_rng(fleet.config().seed).stream("precursors");
+  const double horizon = fleet.horizon_seconds();
+
+  // --- baseline noise: homogeneous per installed disk record ----------------
+  struct Noise {
+    PrecursorKind kind;
+    double per_year;
+  };
+  const Noise noise[3] = {
+      {PrecursorKind::kMediumError, params.medium_error_noise_per_disk_year},
+      {PrecursorKind::kLinkReset, params.link_reset_noise_per_disk_year},
+      {PrecursorKind::kCmdTimeout, params.cmd_timeout_noise_per_disk_year},
+  };
+  for (const DiskRecord& disk : fleet.disks()) {
+    const double start = std::max(0.0, disk.install_time);
+    const double end = std::min(horizon, disk.remove_time);
+    if (end <= start) continue;
+    Rng rng = root.stream("noise", disk.id.value());
+    for (const auto& n : noise) {
+      if (n.per_year <= 0.0) continue;
+      const double rate = n.per_year / model::kSecondsPerYear;
+      double t = start;
+      while (true) {
+        t += -std::log(rng.uniform_pos()) / rate;
+        if (t >= end) break;
+        events.push_back(PrecursorEvent{t, disk.id, disk.system, n.kind});
+      }
+    }
+  }
+
+  // --- pre-failure bursts ----------------------------------------------------
+  struct Burst {
+    double expected_count;
+    double lead_mean;
+    double predictable_fraction;
+  };
+  auto burst_for = [&](FailureType type) -> Burst {
+    switch (type) {
+      case FailureType::kDisk:
+        return {params.medium_errors_before_disk_failure, params.disk_lead_mean_seconds,
+                params.disk_predictable_fraction};
+      case FailureType::kPhysicalInterconnect:
+        return {params.link_resets_before_interconnect_failure,
+                params.interconnect_lead_mean_seconds,
+                params.interconnect_predictable_fraction};
+      case FailureType::kPerformance:
+        return {params.timeouts_before_performance_failure,
+                params.performance_lead_mean_seconds,
+                params.performance_predictable_fraction};
+      case FailureType::kProtocol:
+        // Protocol failures are software/firmware incompatibilities; the
+        // paper gives no component-error precursor for them, and having one
+        // unpredictable type keeps the evaluation honest.
+        return {0.0, 1.0, 0.0};
+    }
+    return {0.0, 1.0, 0.0};
+  };
+
+  std::uint64_t failure_index = 0;
+  for (const SimFailure& f : result.failures) {
+    const Burst burst = burst_for(f.type);
+    ++failure_index;
+    if (burst.expected_count <= 0.0) continue;
+    Rng rng = root.stream("burst", failure_index);
+    // Bolt-from-the-blue failures emit no warning at all.
+    if (!rng.bernoulli(burst.predictable_fraction)) continue;
+    const double sigma = params.lead_sigma_log;
+    const stats::LogNormal lead_dist(std::log(burst.lead_mean) - 0.5 * sigma * sigma, sigma);
+    const double lead = lead_dist.sample(rng);
+    const auto count = stats::Poisson(burst.expected_count).sample(rng);
+    const auto& disk = fleet.disk(f.disk);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // Error density rises toward the failure: sample the offset as
+      // lead * u^2 before the occurrence time.
+      const double u = rng.uniform();
+      const double t = f.occur_time - lead * u * u;
+      if (t < 0.0 || t >= horizon) continue;
+      if (!disk.installed_at(t)) continue;
+      events.push_back(PrecursorEvent{t, f.disk, f.system, kind_for(f.type)});
+    }
+  }
+
+  // --- benign bursts on healthy disks ----------------------------------------
+  if (params.benign_burst_per_disk_year > 0.0) {
+    const double burst_rate = params.benign_burst_per_disk_year / model::kSecondsPerYear;
+    for (const DiskRecord& disk : fleet.disks()) {
+      const double start = std::max(0.0, disk.install_time);
+      const double end = std::min(horizon, disk.remove_time);
+      if (end <= start) continue;
+      Rng rng = root.stream("benign", disk.id.value());
+      double t = start;
+      while (true) {
+        t += -std::log(rng.uniform_pos()) / burst_rate;
+        if (t >= end) break;
+        const auto count = stats::Poisson(params.benign_burst_mean_events).sample(rng);
+        // Most benign bursts are media-scrub batches; the rest transient
+        // link/latency flaps.
+        const double kind_pick = rng.uniform();
+        const PrecursorKind kind = kind_pick < 0.5   ? PrecursorKind::kMediumError
+                                   : kind_pick < 0.75 ? PrecursorKind::kLinkReset
+                                                      : PrecursorKind::kCmdTimeout;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const double when = t + rng.uniform() * params.benign_burst_spread_seconds;
+          if (when >= end) continue;
+          events.push_back(PrecursorEvent{when, disk.id, disk.system, kind});
+        }
+      }
+    }
+  }
+
+  std::sort(events.begin(), events.end(), [](const PrecursorEvent& a, const PrecursorEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.disk < b.disk;
+  });
+  return events;
+}
+
+}  // namespace storsubsim::sim

@@ -1,0 +1,87 @@
+// Component-error precursor generation.
+//
+// The support logs carry far more than RAID-layer failures: disk medium
+// errors, Fibre Channel link resets, command timeouts (paper §2.5 lists
+// them). These *component errors* do not break the I/O path by themselves,
+// but their rate rises before many failures — which is exactly what makes
+// the paper's proposed future work ("design storage failure prediction
+// algorithms based on component errors") possible.
+//
+// This module generates a precursor-event stream consistent with a simulated
+// failure history: a baseline noise rate per disk, plus pre-failure bursts
+// in a lead window before each failure of the matching type. The stream is
+// rendered into the text logs as non-terminal records (the classifier
+// ignores them), and `core/prediction` consumes them to build and evaluate
+// predictors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/fleet.h"
+#include "sim/simulator.h"
+
+namespace storsubsim::sim {
+
+enum class PrecursorKind : std::uint8_t {
+  kMediumError,  ///< disk media sector error (precedes disk failures)
+  kLinkReset,    ///< FC link instability (precedes interconnect failures)
+  kCmdTimeout,   ///< slow command completion (precedes performance failures)
+};
+
+std::string_view to_string(PrecursorKind kind);
+
+struct PrecursorEvent {
+  double time = 0.0;
+  model::DiskId disk;
+  model::SystemId system;
+  PrecursorKind kind = PrecursorKind::kMediumError;
+};
+
+/// Rates and burst shapes of the precursor processes.
+struct PrecursorParams {
+  /// Baseline noise, events per disk-year (healthy disks also log errors —
+  /// this is what makes prediction nontrivial).
+  double medium_error_noise_per_disk_year = 1.2;
+  double link_reset_noise_per_disk_year = 0.5;
+  double cmd_timeout_noise_per_disk_year = 0.8;
+
+  /// Expected number of burst events emitted in the lead window before a
+  /// failure of the matching type (Poisson-distributed per failure).
+  double medium_errors_before_disk_failure = 9.0;
+  double link_resets_before_interconnect_failure = 6.0;
+  double timeouts_before_performance_failure = 7.0;
+
+  /// Mean lead-window length before the failure (LogNormal spread).
+  double disk_lead_mean_seconds = 10.0 * model::kSecondsPerDay;
+  double interconnect_lead_mean_seconds = 1.0 * model::kSecondsPerDay;
+  double performance_lead_mean_seconds = 2.0 * model::kSecondsPerDay;
+  double lead_sigma_log = 0.7;
+
+  /// Fraction of failures that announce themselves at all. Field studies
+  /// (Pinheiro et al., FAST'07) find roughly half of disk failures give no
+  /// SMART warning; sudden electronics deaths and firmware lockups emit
+  /// nothing. The remainder are bolt-from-the-blue failures no component-
+  /// error predictor can catch.
+  double disk_predictable_fraction = 0.55;
+  double interconnect_predictable_fraction = 0.75;
+  double performance_predictable_fraction = 0.70;
+
+  /// Benign error bursts on healthy disks (media scrubs surfacing a batch of
+  /// remappable sectors, transient link flaps): these produce false alarms
+  /// at any threshold, bounding achievable precision.
+  double benign_burst_per_disk_year = 0.05;
+  double benign_burst_mean_events = 5.0;
+  double benign_burst_spread_seconds = 3.0 * model::kSecondsPerDay;
+
+  static PrecursorParams standard() { return PrecursorParams{}; }
+};
+
+/// Generates the precursor stream for a completed simulation. Deterministic
+/// given (fleet seed, failures, params). Events are sorted by time and only
+/// occur while their disk is installed.
+std::vector<PrecursorEvent> generate_precursors(const model::Fleet& fleet,
+                                                const SimResult& result,
+                                                const PrecursorParams& params);
+
+}  // namespace storsubsim::sim

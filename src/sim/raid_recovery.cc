@@ -1,0 +1,148 @@
+#include "sim/raid_recovery.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace storsubsim::sim {
+
+namespace {
+
+using model::FailureType;
+using model::RaidType;
+
+constexpr double kSecondsPerHour = 3600.0;
+
+struct TaggedInterval {
+  std::uint32_t slot_key;  // (shelf, slot) packed: distinguishes members
+  double start;
+  double end;
+};
+
+}  // namespace
+
+RecoveryResult replay_raid_recovery(const model::Fleet& fleet, const SimResult& result,
+                                    const RecoveryPolicy& policy) {
+  RecoveryResult out;
+  out.policy = policy;
+  const double horizon = fleet.horizon_seconds();
+  const double rebuild_s = policy.rebuild_hours * kSecondsPerHour;
+  const double replenish_s = policy.spare_replenish_days * 24.0 * kSecondsPerHour;
+  const double transient_s = policy.transient_outage_hours * kSecondsPerHour;
+
+  out.groups = fleet.raid_groups().size();
+  for (const auto& group : fleet.raid_groups()) {
+    const double observed = horizon - fleet.system(group.system).deploy_time;
+    if (observed > 0.0) out.group_years += model::years(observed);
+  }
+
+  // --- spare pools (min-heap of spare-available times, per system) ----------
+  using SpareHeap = std::priority_queue<double, std::vector<double>, std::greater<double>>;
+  std::vector<SpareHeap> spares(fleet.systems().size());
+  if (policy.hot_spares_per_system > 0) {
+    for (const auto& system : fleet.systems()) {
+      for (std::size_t i = 0; i < policy.hot_spares_per_system; ++i) {
+        spares[system.id.value()].push(system.deploy_time);
+      }
+    }
+  }
+
+  // --- turn failures into member-unavailability intervals -------------------
+  // result.failures is sorted by detection time, which is the order the
+  // spare pool serves rebuilds.
+  std::unordered_map<std::uint32_t, std::vector<TaggedInterval>> per_group;
+  for (const auto& f : result.failures) {
+    const auto& disk = fleet.disk(f.disk);
+    if (!disk.raid_group.valid()) continue;
+    const std::uint32_t slot_key = disk.shelf.value() * model::kShelfSlots + disk.slot;
+
+    double start = f.occur_time;
+    double end;
+    if (f.type == FailureType::kDisk) {
+      ++out.rebuilds_total;
+      double rebuild_start;
+      if (policy.hot_spares_per_system == 0) {
+        rebuild_start = f.detect_time + replenish_s;  // ordered on demand
+        ++out.rebuilds_stalled_on_spares;
+      } else {
+        auto& pool = spares[disk.system.value()];
+        const double available = pool.top();
+        pool.pop();
+        rebuild_start = std::max(f.detect_time, available);
+        if (rebuild_start > f.detect_time) ++out.rebuilds_stalled_on_spares;
+        // The consumed spare's slot in the pool is restocked.
+        pool.push(rebuild_start + replenish_s);
+      }
+      end = rebuild_start + rebuild_s;
+    } else {
+      if (!policy.count_transient_failures) continue;
+      end = f.occur_time + transient_s;
+    }
+    per_group[disk.raid_group.value()].push_back(
+        TaggedInterval{slot_key, start, std::min(end, horizon)});
+  }
+
+  // --- sweep each group's concurrency profile -------------------------------
+  for (auto& [group_id, intervals] : per_group) {
+    const auto& group = fleet.raid_group(model::RaidGroupId(group_id));
+    const std::size_t parity = group.type == RaidType::kRaid6 ? 2 : 1;
+
+    // Merge per-member first so a member never counts twice in the depth.
+    std::sort(intervals.begin(), intervals.end(), [](const auto& a, const auto& b) {
+      if (a.slot_key != b.slot_key) return a.slot_key < b.slot_key;
+      return a.start < b.start;
+    });
+    struct Edge {
+      double time;
+      int delta;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(2 * intervals.size());
+    std::size_t i = 0;
+    while (i < intervals.size()) {
+      double start = intervals[i].start;
+      double end = intervals[i].end;
+      std::size_t j = i + 1;
+      while (j < intervals.size() && intervals[j].slot_key == intervals[i].slot_key &&
+             intervals[j].start <= end) {
+        end = std::max(end, intervals[j].end);
+        ++j;
+      }
+      if (end > start) {
+        edges.push_back(Edge{start, +1});
+        edges.push_back(Edge{end, -1});
+      }
+      // Next disjoint interval of the same member, or the next member.
+      i = j;
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.delta < b.delta;  // close before open at the same instant
+    });
+
+    int depth = 0;
+    double prev_time = 0.0;
+    std::size_t losses = 0;
+    for (const auto& edge : edges) {
+      if (depth >= 1) out.degraded_group_hours += (edge.time - prev_time) / kSecondsPerHour;
+      if (depth >= static_cast<int>(parity)) {
+        out.zero_redundancy_hours += (edge.time - prev_time) / kSecondsPerHour;
+      }
+      const int new_depth = depth + edge.delta;
+      if (edge.delta > 0 && new_depth == static_cast<int>(parity) + 1) {
+        ++losses;  // one incident per exceedance transition
+      }
+      depth = new_depth;
+      prev_time = edge.time;
+    }
+    if (group.type == RaidType::kRaid6) {
+      out.data_loss_events_raid6 += losses;
+    } else {
+      out.data_loss_events_raid4 += losses;
+    }
+  }
+  return out;
+}
+
+}  // namespace storsubsim::sim

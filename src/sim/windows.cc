@@ -1,0 +1,88 @@
+#include "sim/windows.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace storsubsim::sim {
+
+std::vector<Window> generate_windows(const WindowProcess& process, double horizon,
+                                     stats::Rng& rng) {
+  std::vector<Window> windows;
+  if (process.per_year <= 0.0 || process.multiplier == 1.0 ||
+      process.mean_duration_seconds <= 0.0) {
+    return windows;
+  }
+  const double rate = process.per_year / model::kSecondsPerYear;  // arrivals per second
+  // LogNormal with the requested arithmetic mean: mu = ln(mean) - sigma^2/2.
+  const double sigma = process.sigma_log;
+  const stats::LogNormal duration(std::log(process.mean_duration_seconds) - 0.5 * sigma * sigma,
+                                  sigma);
+  double t = 0.0;
+  double active_until = 0.0;
+  while (true) {
+    t += -std::log(rng.uniform_pos()) / rate;
+    if (t >= horizon) break;
+    if (t < active_until) continue;  // arrival inside an active window: skip
+    const double d = duration.sample(rng);
+    const double end = std::min(horizon, t + d);
+    windows.push_back(Window{t, end, process.multiplier});
+    active_until = end;
+  }
+  return windows;
+}
+
+double multiplier_at(std::span<const Window> windows, double t) {
+  // Binary search for the last window starting at or before t.
+  const auto it = std::upper_bound(windows.begin(), windows.end(), t,
+                                   [](double x, const Window& w) { return x < w.start; });
+  if (it == windows.begin()) return 1.0;
+  const Window& w = *(it - 1);
+  return (t < w.end) ? w.multiplier : 1.0;
+}
+
+ModulatedPoissonSampler::ModulatedPoissonSampler(double base_rate_per_second,
+                                                 std::span<const Window> windows,
+                                                 double horizon)
+    : base_rate_(base_rate_per_second), windows_(windows), horizon_(horizon) {}
+
+std::optional<double> ModulatedPoissonSampler::sample_after(double t, stats::Rng& rng) {
+  if (base_rate_ <= 0.0 || t >= horizon_) return std::nullopt;
+  // Advance the cursor past windows that ended before t.
+  while (cursor_ < windows_.size() && windows_[cursor_].end <= t) ++cursor_;
+
+  double target = -std::log(rng.uniform_pos());  // Exp(1) in integrated-hazard time
+  double now = t;
+  std::size_t cur = cursor_;
+  while (now < horizon_) {
+    // Determine the rate and the end of the current constant-rate segment.
+    double rate = base_rate_;
+    double segment_end = horizon_;
+    if (cur < windows_.size()) {
+      const Window& w = windows_[cur];
+      if (now < w.start) {
+        segment_end = std::min(segment_end, w.start);
+      } else if (now < w.end) {
+        rate = base_rate_ * w.multiplier;
+        segment_end = std::min(segment_end, w.end);
+      } else {
+        ++cur;
+        continue;
+      }
+    }
+    const double capacity = rate * (segment_end - now);
+    if (target <= capacity) {
+      const double event = now + target / rate;
+      cursor_ = cur;
+      return event;
+    }
+    target -= capacity;
+    now = segment_end;
+    if (cur < windows_.size() && now >= windows_[cur].end) ++cur;
+  }
+  cursor_ = cur;
+  return std::nullopt;
+}
+
+}  // namespace storsubsim::sim

@@ -1,0 +1,49 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace storsubsim::stats {
+
+std::vector<double> bootstrap_distribution(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, std::size_t replicates,
+    Rng& rng) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& x : resample) {
+      x = sample[static_cast<std::size_t>(rng.below(sample.size()))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  return stats;
+}
+
+Interval bootstrap_ci(std::span<const double> sample,
+                      const std::function<double(std::span<const double>)>& statistic,
+                      double confidence, std::size_t replicates, Rng& rng) {
+  if (!(confidence > 0.0) || !(confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence must be in (0,1)");
+  }
+  const auto dist = bootstrap_distribution(sample, statistic, replicates, rng);
+  const double alpha = 1.0 - confidence;
+  auto pick = [&](double p) {
+    const double h = p * (static_cast<double>(dist.size()) - 1.0);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    const double frac = h - static_cast<double>(lo);
+    if (lo + 1 >= dist.size()) return dist.back();
+    return dist[lo] + frac * (dist[lo + 1] - dist[lo]);
+  };
+  Interval ci;
+  ci.lower = pick(alpha / 2.0);
+  ci.upper = pick(1.0 - alpha / 2.0);
+  ci.point = statistic(sample);
+  return ci;
+}
+
+}  // namespace storsubsim::stats

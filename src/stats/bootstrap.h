@@ -1,0 +1,28 @@
+// Percentile bootstrap for arbitrary statistics — used where no closed-form
+// interval exists (e.g. the empirical-vs-theoretical P(2) correlation factor).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/intervals.h"
+#include "stats/rng.h"
+
+namespace storsubsim::stats {
+
+/// Draws `replicates` bootstrap resamples of `sample`, applies `statistic`
+/// to each, and returns the percentile CI plus the point estimate on the
+/// original sample.
+Interval bootstrap_ci(std::span<const double> sample,
+                      const std::function<double(std::span<const double>)>& statistic,
+                      double confidence, std::size_t replicates, Rng& rng);
+
+/// Raw bootstrap distribution of a statistic (sorted ascending).
+std::vector<double> bootstrap_distribution(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic, std::size_t replicates,
+    Rng& rng);
+
+}  // namespace storsubsim::stats

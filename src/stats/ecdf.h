@@ -1,0 +1,61 @@
+// Empirical cumulative distribution functions.
+//
+// Figure 9 of the paper plots empirical CDFs of time-between-failures on a
+// log-spaced time axis from 1 second to 1e8 seconds; `log_grid` produces the
+// matching evaluation grid.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace storsubsim::stats {
+
+/// Immutable empirical CDF over a sample. Construction sorts a copy of the
+/// data; evaluation is O(log n).
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> sample);
+
+  /// Fraction of observations <= x.
+  double operator()(double x) const;
+
+  /// p-th sample quantile (type-7 / linear interpolation), p in [0, 1].
+  double quantile(double p) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+  double min() const;
+  double max() const;
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+  /// Evaluates the CDF at each grid point.
+  std::vector<double> evaluate(std::span<const double> grid) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Log-spaced grid of `points` values spanning [lo, hi] inclusive (lo > 0).
+std::vector<double> log_grid(double lo, double hi, std::size_t points);
+
+/// Kolmogorov–Smirnov distance between an ECDF and a model CDF evaluated as
+/// a callable double(double).
+template <typename Cdf>
+double ks_distance(const Ecdf& ecdf, Cdf&& model) {
+  double d = 0.0;
+  const auto& xs = ecdf.sorted_sample();
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = model(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    const double gap = std::max(f - lo, hi - f);
+    if (gap > d) d = gap;
+  }
+  return d;
+}
+
+}  // namespace storsubsim::stats

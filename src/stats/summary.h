@@ -1,0 +1,63 @@
+// Streaming summary statistics (Welford accumulators) and small helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace storsubsim::stats {
+
+/// Numerically stable streaming accumulator for mean/variance/extremes.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  /// Population variance (n denominator); 0 for n < 1.
+  double population_variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double std_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const;
+  /// Coefficient of variation stddev/mean; 0 when mean == 0.
+  double coefficient_of_variation() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Weighted variant: each observation carries a nonnegative weight
+/// (e.g. exposure time in device-years).
+class WeightedAccumulator {
+ public:
+  void add(double x, double weight);
+
+  double total_weight() const { return w_; }
+  double mean() const;
+  /// Frequency-weighted population variance.
+  double variance() const;
+  double stddev() const;
+  std::size_t count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double w_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// One-shot helpers over a span.
+double mean_of(std::span<const double> xs);
+double variance_of(std::span<const double> xs);  // sample variance (n-1)
+double stddev_of(std::span<const double> xs);
+
+}  // namespace storsubsim::stats

@@ -1,0 +1,140 @@
+// Time-between-failure analysis: gap computation, duplicate filtering,
+// scope separation, and the overall-series pooling.
+#include "core/burstiness.h"
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "model/time.h"
+
+namespace core = storsubsim::core;
+namespace log_ns = storsubsim::log;
+namespace model = storsubsim::model;
+
+namespace {
+
+/// One system, two shelves (2 disks each); disks 0,1 in shelf 0 and group 0,
+/// disks 2,3 in shelf 1 and group 0 (the group spans both shelves), so shelf
+/// scope and group scope pool events differently.
+std::shared_ptr<log_ns::Inventory> two_shelf_inventory() {
+  auto inv = std::make_shared<log_ns::Inventory>();
+  inv->horizon_seconds = model::from_years(2.0);
+  log_ns::InventorySystem s;
+  s.id = model::SystemId(0);
+  s.cls = model::SystemClass::kMidRange;
+  s.disk_model = {'D', 2};
+  s.shelf_model = {'B'};
+  inv->systems = {s};
+  inv->shelves = {{model::ShelfId(0), model::SystemId(0), {'B'}},
+                  {model::ShelfId(1), model::SystemId(0), {'B'}}};
+  inv->raid_groups = {
+      {model::RaidGroupId(0), model::SystemId(0), model::RaidType::kRaid4, 4, 2}};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    log_ns::InventoryDisk d;
+    d.id = model::DiskId(i);
+    d.model = s.disk_model;
+    d.system = model::SystemId(0);
+    d.shelf = model::ShelfId(i / 2);
+    d.raid_group = model::RaidGroupId(0);
+    d.slot = i % 2;
+    d.remove_time = std::numeric_limits<double>::infinity();
+    inv->disks.push_back(d);
+  }
+  return inv;
+}
+
+core::FailureEvent ev(double t, std::uint32_t disk,
+                      model::FailureType type = model::FailureType::kDisk) {
+  return core::FailureEvent{t, model::DiskId(disk), model::SystemId(0), type};
+}
+
+}  // namespace
+
+TEST(Burstiness, GapsWithinShelfOnly) {
+  const auto inv = two_shelf_inventory();
+  // Shelf 0: disks 0,1 at t=100 and t=400; shelf 1: disk 2 at t=200.
+  const core::Dataset ds(inv, {ev(100.0, 0), ev(400.0, 1), ev(200.0, 2)});
+  const auto r = core::time_between_failures(ds, core::Scope::kShelf);
+  const auto disk_series = core::series_of(model::FailureType::kDisk);
+  ASSERT_EQ(r.gap_count(disk_series), 1u);
+  EXPECT_DOUBLE_EQ(r.gaps[disk_series][0], 300.0);  // 400 - 100 within shelf 0
+}
+
+TEST(Burstiness, GroupScopePoolsAcrossShelves) {
+  const auto inv = two_shelf_inventory();
+  const core::Dataset ds(inv, {ev(100.0, 0), ev(400.0, 1), ev(200.0, 2)});
+  const auto r = core::time_between_failures(ds, core::Scope::kRaidGroup);
+  const auto disk_series = core::series_of(model::FailureType::kDisk);
+  // All three in one group: gaps 100 (100->200) and 200 (200->400).
+  ASSERT_EQ(r.gap_count(disk_series), 2u);
+  EXPECT_DOUBLE_EQ(r.gaps[disk_series][0], 100.0);
+  EXPECT_DOUBLE_EQ(r.gaps[disk_series][1], 200.0);
+}
+
+TEST(Burstiness, DuplicateSameDiskFiltered) {
+  const auto inv = two_shelf_inventory();
+  // Disk 0 reports at 100 and again at 150 (duplicate); disk 1 at 1000.
+  const core::Dataset ds(inv, {ev(100.0, 0), ev(150.0, 0), ev(1000.0, 1)});
+  const auto r = core::time_between_failures(ds, core::Scope::kShelf);
+  const auto disk_series = core::series_of(model::FailureType::kDisk);
+  ASSERT_EQ(r.gap_count(disk_series), 1u);
+  // The duplicate refreshed the anchor: the gap measures from the latest
+  // same-disk report (150), not the first (100).
+  EXPECT_DOUBLE_EQ(r.gaps[disk_series][0], 850.0);
+}
+
+TEST(Burstiness, TypesKeptSeparateButPooledInOverall) {
+  const auto inv = two_shelf_inventory();
+  const core::Dataset ds(
+      inv, {ev(100.0, 0, model::FailureType::kDisk),
+            ev(300.0, 1, model::FailureType::kPhysicalInterconnect),
+            ev(600.0, 0, model::FailureType::kPhysicalInterconnect)});
+  const auto r = core::time_between_failures(ds, core::Scope::kShelf);
+  EXPECT_EQ(r.gap_count(core::series_of(model::FailureType::kDisk)), 0u);
+  ASSERT_EQ(r.gap_count(core::series_of(model::FailureType::kPhysicalInterconnect)), 1u);
+  EXPECT_DOUBLE_EQ(r.gaps[core::series_of(model::FailureType::kPhysicalInterconnect)][0],
+                   300.0);
+  // Overall pools all three: gaps 200 and 300.
+  ASSERT_EQ(r.gap_count(core::kOverallSeries), 2u);
+  EXPECT_DOUBLE_EQ(r.gaps[core::kOverallSeries][0], 200.0);
+  EXPECT_DOUBLE_EQ(r.gaps[core::kOverallSeries][1], 300.0);
+}
+
+TEST(Burstiness, FractionWithinAndEcdf) {
+  const auto inv = two_shelf_inventory();
+  const core::Dataset ds(inv, {ev(0.0, 0), ev(5000.0, 1), ev(100000.0, 0),
+                               ev(120000.0, 1)});
+  const auto r = core::time_between_failures(ds, core::Scope::kShelf);
+  const auto s = core::series_of(model::FailureType::kDisk);
+  // Gaps: 5000, 95000, 20000.
+  ASSERT_EQ(r.gap_count(s), 3u);
+  EXPECT_NEAR(r.fraction_within(s, 1e4), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.fraction_within(s, 1e6), 1.0, 1e-12);
+  const auto ecdf = r.ecdf(s);
+  EXPECT_DOUBLE_EQ(ecdf(5000.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.fraction_within(core::kOverallSeries, 0.0), 0.0);
+}
+
+TEST(Burstiness, EmptyDataset) {
+  const auto inv = two_shelf_inventory();
+  const core::Dataset ds(inv, {});
+  const auto r = core::time_between_failures(ds, core::Scope::kShelf);
+  for (std::size_t s = 0; s < core::kSeriesCount; ++s) {
+    EXPECT_EQ(r.gap_count(s), 0u);
+    EXPECT_DOUBLE_EQ(r.fraction_within(s, 1e9), 0.0);
+  }
+}
+
+TEST(Burstiness, ScopeStateResetsBetweenScopes) {
+  const auto inv = two_shelf_inventory();
+  // Last event of shelf 0 at t=900; first of shelf 1 at t=1000 — must NOT
+  // produce a 100 s gap across scopes.
+  const core::Dataset ds(inv, {ev(100.0, 0), ev(900.0, 1), ev(1000.0, 2), ev(5000.0, 3)});
+  const auto r = core::time_between_failures(ds, core::Scope::kShelf);
+  const auto s = core::series_of(model::FailureType::kDisk);
+  ASSERT_EQ(r.gap_count(s), 2u);
+  EXPECT_DOUBLE_EQ(r.gaps[s][0], 800.0);   // within shelf 0
+  EXPECT_DOUBLE_EQ(r.gaps[s][1], 4000.0);  // within shelf 1
+}

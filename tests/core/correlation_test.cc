@@ -1,0 +1,283 @@
+// Correlation analysis: window counting, P(1)/P(2) arithmetic, the
+// independence prediction, and a synthetic independence property test.
+#include "core/correlation.h"
+
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace core = storsubsim::core;
+namespace log_ns = storsubsim::log;
+namespace model = storsubsim::model;
+namespace stats = storsubsim::stats;
+
+namespace {
+
+/// `n_shelves` single-shelf systems, one disk per shelf, all deployed at 0,
+/// horizon = `years`.
+std::shared_ptr<log_ns::Inventory> shelf_farm(std::size_t n_shelves, double years) {
+  auto inv = std::make_shared<log_ns::Inventory>();
+  inv->horizon_seconds = model::from_years(years);
+  for (std::uint32_t i = 0; i < n_shelves; ++i) {
+    log_ns::InventorySystem s;
+    s.id = model::SystemId(i);
+    s.cls = model::SystemClass::kLowEnd;
+    s.disk_model = {'A', 2};
+    s.shelf_model = {'A'};
+    inv->systems.push_back(s);
+    inv->shelves.push_back({model::ShelfId(i), model::SystemId(i), {'A'}});
+    inv->raid_groups.push_back(
+        {model::RaidGroupId(i), model::SystemId(i), model::RaidType::kRaid4, 1, 1});
+    log_ns::InventoryDisk d;
+    d.id = model::DiskId(i);
+    d.model = s.disk_model;
+    d.system = model::SystemId(i);
+    d.shelf = model::ShelfId(i);
+    d.raid_group = model::RaidGroupId(i);
+    d.remove_time = std::numeric_limits<double>::infinity();
+    inv->disks.push_back(d);
+  }
+  return inv;
+}
+
+core::FailureEvent ev(double t, std::uint32_t disk,
+                      model::FailureType type = model::FailureType::kDisk) {
+  return core::FailureEvent{t, model::DiskId(disk), model::SystemId(disk), type};
+}
+
+}  // namespace
+
+TEST(Correlation, WindowCountingArithmetic) {
+  // 10 shelves observed 2 years each = 20 shelf-year windows. Shelf 0 has
+  // exactly 1 failure in its first year; shelf 1 has 2 in its second year.
+  const auto inv = shelf_farm(10, 2.0);
+  const double year = model::kSecondsPerYear;
+  const core::Dataset ds(inv, {ev(0.3 * year, 0), ev(1.2 * year, 1), ev(1.4 * year, 1)});
+  const auto r = core::failure_correlation(ds, core::Scope::kShelf,
+                                           model::FailureType::kDisk);
+  EXPECT_EQ(r.windows_observed, 20u);
+  EXPECT_EQ(r.windows_with_one, 1u);
+  EXPECT_EQ(r.windows_with_two, 1u);
+  EXPECT_NEAR(r.empirical_p1(), 0.05, 1e-12);
+  EXPECT_NEAR(r.empirical_p2(), 0.05, 1e-12);
+  EXPECT_NEAR(r.theoretical_p2(), 0.5 * 0.05 * 0.05, 1e-12);
+  EXPECT_NEAR(r.correlation_factor(), 0.05 / (0.5 * 0.05 * 0.05), 1e-9);
+}
+
+TEST(Correlation, ShortLivedScopesExcluded) {
+  // Horizon 0.5 years: no complete 1-year windows -> nothing observed.
+  const auto inv = shelf_farm(5, 0.5);
+  const core::Dataset ds(inv, {ev(100.0, 0)});
+  const auto r = core::failure_correlation(ds, core::Scope::kShelf,
+                                           model::FailureType::kDisk);
+  EXPECT_EQ(r.windows_observed, 0u);
+  EXPECT_DOUBLE_EQ(r.correlation_factor(), 0.0);
+}
+
+TEST(Correlation, EventsInPartialTrailingWindowIgnored) {
+  // 1.5-year horizon: one complete window per shelf; an event at t=1.2y
+  // falls in the incomplete second window and must not count.
+  const auto inv = shelf_farm(4, 1.5);
+  const double year = model::kSecondsPerYear;
+  const core::Dataset ds(inv, {ev(1.2 * year, 0)});
+  const auto r = core::failure_correlation(ds, core::Scope::kShelf,
+                                           model::FailureType::kDisk);
+  EXPECT_EQ(r.windows_observed, 4u);
+  EXPECT_EQ(r.windows_with_one, 0u);
+}
+
+TEST(Correlation, TypeSelective) {
+  const auto inv = shelf_farm(4, 1.0);
+  const core::Dataset ds(inv, {ev(100.0, 0, model::FailureType::kProtocol)});
+  EXPECT_EQ(core::failure_correlation(ds, core::Scope::kShelf, model::FailureType::kDisk)
+                .windows_with_one,
+            0u);
+  EXPECT_EQ(
+      core::failure_correlation(ds, core::Scope::kShelf, model::FailureType::kProtocol)
+          .windows_with_one,
+      1u);
+}
+
+TEST(Correlation, CustomWindowLength) {
+  // Quarter windows: 1 year horizon -> 4 windows per shelf.
+  const auto inv = shelf_farm(2, 1.0);
+  const auto r = core::failure_correlation(core::Dataset(inv, {}), core::Scope::kShelf,
+                                           model::FailureType::kDisk,
+                                           0.25 * model::kSecondsPerYear);
+  EXPECT_EQ(r.windows_observed, 8u);
+}
+
+TEST(Correlation, IndependentFailuresGiveFactorNearOne) {
+  // Property: Poisson-seeded independent failures across many shelf-years
+  // must satisfy P(2) ~ P(1)^2/2 (factor ~ 1). The identity is exact only
+  // for rare events (the exact Poisson ratio is e^lambda), so use a small
+  // per-window rate.
+  const std::size_t shelves = 50000;
+  const auto inv = shelf_farm(shelves, 2.0);
+  stats::Rng rng(404);
+  std::vector<core::FailureEvent> events;
+  const double year = model::kSecondsPerYear;
+  for (std::uint32_t s = 0; s < shelves; ++s) {
+    const auto n = stats::Poisson(0.08).sample(rng);  // per 2-year life
+    for (std::uint64_t k = 0; k < n; ++k) {
+      events.push_back(ev(rng.uniform(0.0, 2.0 * year), s));
+    }
+  }
+  const core::Dataset ds(inv, std::move(events));
+  const auto r = core::failure_correlation(ds, core::Scope::kShelf,
+                                           model::FailureType::kDisk);
+  EXPECT_NEAR(r.correlation_factor(), 1.0, 0.25);
+  EXPECT_FALSE(r.independence_test().significant_at(0.995));
+}
+
+TEST(Correlation, ClusteredFailuresDetected) {
+  // Failures arriving in pairs: P(2) far above the independence prediction.
+  const std::size_t shelves = 5000;
+  const auto inv = shelf_farm(shelves, 1.0);
+  stats::Rng rng(405);
+  std::vector<core::FailureEvent> events;
+  const double year = model::kSecondsPerYear;
+  for (std::uint32_t s = 0; s < shelves; ++s) {
+    if (rng.bernoulli(0.03)) {  // 3% of shelves get a pair
+      const double t = rng.uniform(0.0, 0.9 * year);
+      events.push_back(ev(t, s));
+      events.push_back(ev(t + 3600.0, s));
+    } else if (rng.bernoulli(0.05)) {  // some singletons so P(1) is defined
+      events.push_back(ev(rng.uniform(0.0, year), s));
+    }
+  }
+  const core::Dataset ds(inv, std::move(events));
+  const auto r = core::failure_correlation(ds, core::Scope::kShelf,
+                                           model::FailureType::kDisk);
+  EXPECT_GT(r.correlation_factor(), 5.0);
+  EXPECT_TRUE(r.independence_test().significant_at(0.995));
+  const auto ci = r.empirical_p2_ci(0.995);
+  EXPECT_GT(ci.lower, r.theoretical_p2());
+}
+
+TEST(Correlation, AllTypesHelper) {
+  const auto inv = shelf_farm(4, 1.0);
+  const core::Dataset ds(inv, {});
+  const auto all = core::failure_correlation_all_types(ds, core::Scope::kRaidGroup);
+  ASSERT_EQ(all.size(), 4u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].type, model::kAllFailureTypes[i]);
+    EXPECT_EQ(all[i].scope, core::Scope::kRaidGroup);
+    EXPECT_EQ(all[i].windows_observed, 4u);
+  }
+}
+
+TEST(DispersionIndex, PoissonIsOne) {
+  const std::size_t shelves = 30000;
+  const auto inv = shelf_farm(shelves, 1.0);
+  stats::Rng rng(406);
+  std::vector<core::FailureEvent> events;
+  const double year = model::kSecondsPerYear;
+  for (std::uint32_t s = 0; s < shelves; ++s) {
+    const auto n = stats::Poisson(0.3).sample(rng);
+    for (std::uint64_t k = 0; k < n; ++k) events.push_back(ev(rng.uniform(0.0, year), s));
+  }
+  const core::Dataset ds(inv, std::move(events));
+  EXPECT_NEAR(core::dispersion_index(ds, core::Scope::kShelf, model::FailureType::kDisk),
+              1.0, 0.05);
+}
+
+TEST(DispersionIndex, ClusteringInflatesIt) {
+  const std::size_t shelves = 5000;
+  const auto inv = shelf_farm(shelves, 1.0);
+  stats::Rng rng(407);
+  std::vector<core::FailureEvent> events;
+  const double year = model::kSecondsPerYear;
+  for (std::uint32_t s = 0; s < shelves; ++s) {
+    if (!rng.bernoulli(0.05)) continue;
+    const double t = rng.uniform(0.0, 0.9 * year);
+    for (int k = 0; k < 5; ++k) events.push_back(ev(t + 60.0 * k, s));
+  }
+  const core::Dataset ds(inv, std::move(events));
+  EXPECT_GT(core::dispersion_index(ds, core::Scope::kShelf, model::FailureType::kDisk), 3.0);
+}
+
+TEST(CrossType, TriggeredResponsesShowLift) {
+  const std::size_t shelves = 4000;
+  const auto inv = shelf_farm(shelves, 1.0);
+  stats::Rng rng(408);
+  std::vector<core::FailureEvent> events;
+  const double year = model::kSecondsPerYear;
+  // 10% of shelves: an interconnect failure followed 2 h later by a
+  // performance failure; plus unrelated background performance failures.
+  for (std::uint32_t s = 0; s < shelves; ++s) {
+    if (rng.bernoulli(0.10)) {
+      const double t = rng.uniform(0.0, 0.9 * year);
+      events.push_back(ev(t, s, model::FailureType::kPhysicalInterconnect));
+      events.push_back(ev(t + 7200.0, s, model::FailureType::kPerformance));
+    }
+    if (rng.bernoulli(0.02)) {
+      events.push_back(ev(rng.uniform(0.0, year), s, model::FailureType::kPerformance));
+    }
+  }
+  const core::Dataset ds(inv, std::move(events));
+  const auto r = core::cross_type_correlation(ds, core::Scope::kShelf,
+                                              model::FailureType::kPhysicalInterconnect,
+                                              model::FailureType::kPerformance, 86400.0);
+  EXPECT_GT(r.triggers, 300u);
+  EXPECT_GT(r.conditional_probability(), 0.9);
+  EXPECT_GT(r.lift(), 50.0);
+}
+
+TEST(CrossType, IndependentStreamsLiftNearOne) {
+  const std::size_t shelves = 30000;
+  const auto inv = shelf_farm(shelves, 1.0);
+  stats::Rng rng(409);
+  std::vector<core::FailureEvent> events;
+  const double year = model::kSecondsPerYear;
+  for (std::uint32_t s = 0; s < shelves; ++s) {
+    // Fairly dense independent streams so conditional probabilities are
+    // measurable.
+    auto n1 = stats::Poisson(1.0).sample(rng);
+    for (std::uint64_t k = 0; k < n1; ++k) {
+      events.push_back(ev(rng.uniform(0.0, year), s, model::FailureType::kDisk));
+    }
+    auto n2 = stats::Poisson(1.0).sample(rng);
+    for (std::uint64_t k = 0; k < n2; ++k) {
+      events.push_back(ev(rng.uniform(0.0, year), s, model::FailureType::kProtocol));
+    }
+  }
+  const core::Dataset ds(inv, std::move(events));
+  const auto r = core::cross_type_correlation(ds, core::Scope::kShelf,
+                                              model::FailureType::kDisk,
+                                              model::FailureType::kProtocol,
+                                              10.0 * 86400.0);
+  EXPECT_NEAR(r.lift(), 1.0, 0.15);
+}
+
+TEST(CrossType, NoTriggersNoLift) {
+  const auto inv = shelf_farm(5, 1.0);
+  const core::Dataset ds(inv, {});
+  const auto r = core::cross_type_correlation(ds, core::Scope::kShelf,
+                                              model::FailureType::kDisk,
+                                              model::FailureType::kProtocol, 86400.0);
+  EXPECT_EQ(r.triggers, 0u);
+  EXPECT_DOUBLE_EQ(r.conditional_probability(), 0.0);
+}
+
+TEST(Multiplicity, GeneralizedFactorialLaw) {
+  // P(N) = P(1)^N / N! (paper equation 4): check the theoretical column.
+  const auto inv = shelf_farm(100, 1.0);
+  std::vector<core::FailureEvent> events;
+  // 10 shelves with one failure -> P(1) = 0.1.
+  for (std::uint32_t s = 0; s < 10; ++s) events.push_back(ev(1000.0 + s, s));
+  const core::Dataset ds(inv, std::move(events));
+  const auto rows = core::failure_multiplicity(ds, core::Scope::kShelf,
+                                               model::FailureType::kDisk, 4);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].theoretical, 0.1, 1e-12);
+  EXPECT_NEAR(rows[1].theoretical, 0.1 * 0.1 / 2.0, 1e-12);
+  EXPECT_NEAR(rows[2].theoretical, 0.1 * 0.1 * 0.1 / 6.0, 1e-12);
+  EXPECT_NEAR(rows[3].theoretical, 1e-4 / 24.0, 1e-12);
+  EXPECT_NEAR(rows[0].empirical, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(rows[1].empirical, 0.0);
+}

@@ -1,0 +1,67 @@
+// End-to-end pipeline: simulate -> logs -> parse -> classify -> dataset.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/afr.h"
+#include "model/fleet_config.h"
+
+namespace core = storsubsim::core;
+namespace model = storsubsim::model;
+namespace sim = storsubsim::sim;
+
+TEST(Pipeline, StatsAreConsistent) {
+  const auto config = model::standard_fleet_config(0.01, 7);
+  const auto sd = core::simulate_and_analyze(config);
+  // Every written line parsed back; every RAID record classified or deduped.
+  EXPECT_GT(sd.pipeline.log_lines_written, 0u);
+  EXPECT_EQ(sd.pipeline.log_lines_written, sd.pipeline.log_lines_parsed);
+  EXPECT_EQ(sd.pipeline.failures_classified, sd.dataset.events().size());
+  // The simulator and the pipeline agree on the number of failures (the
+  // dedup window may only collapse same-disk duplicates; the simulator
+  // never emits them, so counts match exactly).
+  EXPECT_EQ(sd.pipeline.failures_classified, sd.counters.total_events());
+  EXPECT_EQ(sd.dataset.dropped_unknown_disk(), 0u);
+}
+
+TEST(Pipeline, InMemoryPathMatchesCounters) {
+  const auto config = model::standard_fleet_config(0.01, 7);
+  const auto sd = core::simulate_and_analyze(config, sim::SimParams::standard(),
+                                             /*through_text_logs=*/false);
+  EXPECT_EQ(sd.dataset.events().size(), sd.counters.total_events());
+  for (const auto type : model::kAllFailureTypes) {
+    EXPECT_EQ(sd.dataset.event_count(type),
+              sd.counters.events_by_type[model::index_of(type)]);
+  }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto config = model::standard_fleet_config(0.005, 13);
+  const auto a = core::simulate_and_analyze(config);
+  const auto b = core::simulate_and_analyze(config);
+  ASSERT_EQ(a.dataset.events().size(), b.dataset.events().size());
+  EXPECT_NEAR(a.dataset.disk_exposure_years(), b.dataset.disk_exposure_years(), 1e-6);
+  const auto afr_a = core::compute_afr(a.dataset);
+  const auto afr_b = core::compute_afr(b.dataset);
+  EXPECT_DOUBLE_EQ(afr_a.total_afr_pct(), afr_b.total_afr_pct());
+}
+
+TEST(Pipeline, TableOneShapeAtSmallScale) {
+  // The structural ratios of Table 1 survive scaling: shelves/system and
+  // disks/shelf per class are scale-invariant.
+  const auto config = model::standard_fleet_config(0.02, 3);
+  const auto sd = core::simulate_and_analyze(config, sim::SimParams::standard(), false);
+  core::Filter nearline;
+  nearline.system_class = model::SystemClass::kNearLine;
+  const auto nl = sd.dataset.filter(nearline);
+  const double shelves_per_system = static_cast<double>(nl.selected_shelf_count()) /
+                                    static_cast<double>(nl.selected_system_count());
+  EXPECT_NEAR(shelves_per_system, 6.84, 0.8);
+
+  core::Filter lowend;
+  lowend.system_class = model::SystemClass::kLowEnd;
+  const auto le = sd.dataset.filter(lowend);
+  const double le_shelves_per_system = static_cast<double>(le.selected_shelf_count()) /
+                                       static_cast<double>(le.selected_system_count());
+  EXPECT_NEAR(le_shelves_per_system, 1.69, 0.3);
+}

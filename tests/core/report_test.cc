@@ -1,0 +1,64 @@
+// Text table and formatting helpers.
+#include "core/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace core = storsubsim::core;
+
+TEST(TextTable, AlignsColumnsAndSeparatesHeader) {
+  core::TextTable table({"name", "value"});
+  table.add_row({"alpha", "1.25"});
+  table.add_row({"a-much-longer-name", "2"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Numeric cells are right-aligned: "1.25" is preceded by padding spaces.
+  EXPECT_NE(out.find("  1.25"), std::string::npos);
+  // Every line has the same length (aligned columns).
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  core::TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscaping) {
+  core::TextTable table({"label", "note"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quoted", "say \"hi\""});
+  std::ostringstream os;
+  table.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("label,note"), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(core::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(core::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(core::fmt(-1.0, 1), "-1.0");
+  EXPECT_EQ(core::fmt(2.0, 0), "2");
+}
+
+TEST(FmtPct, FractionToPercent) {
+  EXPECT_EQ(core::fmt_pct(0.42), "42.0%");
+  EXPECT_EQ(core::fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(core::fmt_pct(0.0375, 2), "3.75%");
+}

@@ -1,0 +1,122 @@
+// Classifier: only RAID-layer terminals count, de-duplication windows,
+// ordering, and robustness to incomplete records.
+#include "log/classifier.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "log/emitter.h"
+
+namespace log_ns = storsubsim::log;
+namespace model = storsubsim::model;
+
+namespace {
+
+log_ns::LogRecord raid_record(double t, std::uint32_t disk, model::FailureType type) {
+  log_ns::LogRecord r;
+  r.time = t;
+  r.code = std::string(log_ns::raid_code_for(type));
+  r.severity = log_ns::Severity::kError;
+  r.disk = model::DiskId(disk);
+  r.system = model::SystemId(1);
+  r.message = "x";
+  return r;
+}
+
+}  // namespace
+
+TEST(Classifier, CountsOnlyRaidTerminals) {
+  log_ns::EmittableFailure f;
+  f.detect_time = 1000.0;
+  f.type = model::FailureType::kPhysicalInterconnect;
+  f.disk = model::DiskId(5);
+  f.system = model::SystemId(2);
+  f.device_address = "1.16";
+  f.serial = "S";
+  const auto chain = log_ns::propagation_chain(f);  // 6 records, 1 terminal
+
+  log_ns::ClassifierStats stats;
+  const auto failures = log_ns::classify(chain, {}, &stats);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].type, model::FailureType::kPhysicalInterconnect);
+  EXPECT_EQ(failures[0].disk, model::DiskId(5));
+  EXPECT_DOUBLE_EQ(failures[0].time, 1000.0);
+  EXPECT_EQ(stats.raid_records, 1u);
+}
+
+TEST(Classifier, DeduplicatesWithinWindow) {
+  std::vector<log_ns::LogRecord> records = {
+      raid_record(100.0, 9, model::FailureType::kDisk),
+      raid_record(150.0, 9, model::FailureType::kDisk),   // duplicate (50 s later)
+      raid_record(100.0, 9, model::FailureType::kDisk),   // exact duplicate
+      raid_record(9000.0, 9, model::FailureType::kDisk),  // beyond 600 s window
+  };
+  log_ns::ClassifierStats stats;
+  const auto failures = log_ns::classify(records, {}, &stats);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_DOUBLE_EQ(failures[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(failures[1].time, 9000.0);
+  EXPECT_EQ(stats.duplicates_dropped, 2u);
+}
+
+TEST(Classifier, DifferentTypesNotDeduplicated) {
+  const std::vector<log_ns::LogRecord> records = {
+      raid_record(100.0, 9, model::FailureType::kDisk),
+      raid_record(120.0, 9, model::FailureType::kPhysicalInterconnect),
+      raid_record(130.0, 9, model::FailureType::kProtocol),
+  };
+  EXPECT_EQ(log_ns::classify(records).size(), 3u);
+}
+
+TEST(Classifier, DifferentDisksNotDeduplicated) {
+  const std::vector<log_ns::LogRecord> records = {
+      raid_record(100.0, 1, model::FailureType::kDisk),
+      raid_record(101.0, 2, model::FailureType::kDisk),
+  };
+  EXPECT_EQ(log_ns::classify(records).size(), 2u);
+}
+
+TEST(Classifier, OutOfOrderInputSorted) {
+  const std::vector<log_ns::LogRecord> records = {
+      raid_record(5000.0, 2, model::FailureType::kProtocol),
+      raid_record(100.0, 1, model::FailureType::kDisk),
+      raid_record(2500.0, 3, model::FailureType::kPerformance),
+  };
+  const auto failures = log_ns::classify(records);
+  ASSERT_EQ(failures.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(failures.begin(), failures.end(),
+                             [](const auto& a, const auto& b) { return a.time < b.time; }));
+}
+
+TEST(Classifier, DropsRecordsWithoutDiskId) {
+  auto orphan = raid_record(100.0, 0, model::FailureType::kDisk);
+  orphan.disk = model::DiskId{};
+  log_ns::ClassifierStats stats;
+  const auto failures = log_ns::classify(std::vector<log_ns::LogRecord>{orphan}, {}, &stats);
+  EXPECT_TRUE(failures.empty());
+  EXPECT_EQ(stats.missing_disk_dropped, 1u);
+}
+
+TEST(Classifier, CustomWindow) {
+  const std::vector<log_ns::LogRecord> records = {
+      raid_record(100.0, 9, model::FailureType::kDisk),
+      raid_record(150.0, 9, model::FailureType::kDisk),
+  };
+  log_ns::ClassifierOptions options;
+  options.dedup_window_seconds = 10.0;  // narrow window: both survive
+  EXPECT_EQ(log_ns::classify(records, options).size(), 2u);
+}
+
+TEST(Classifier, RepeatedDuplicatesSlideTheWindow) {
+  // Repeats every 400 s with a 600 s window: each kept event anchors the
+  // window, so the 400 s repeats collapse but the 1300 s one survives.
+  const std::vector<log_ns::LogRecord> records = {
+      raid_record(0.0, 9, model::FailureType::kDisk),
+      raid_record(400.0, 9, model::FailureType::kDisk),
+      raid_record(1300.0, 9, model::FailureType::kDisk),
+  };
+  const auto failures = log_ns::classify(records);
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_DOUBLE_EQ(failures[1].time, 1300.0);
+}

@@ -1,0 +1,151 @@
+// Emitter/parser round-trips, the Figure 3 propagation chain shape, and
+// failure injection (corrupt, truncated, foreign, reordered lines).
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "log/emitter.h"
+#include "log/parser.h"
+
+namespace log_ns = storsubsim::log;
+namespace model = storsubsim::model;
+
+namespace {
+
+log_ns::EmittableFailure sample_failure(model::FailureType type, double t = 50000.0) {
+  log_ns::EmittableFailure f;
+  f.detect_time = t;
+  f.type = type;
+  f.disk = model::DiskId(123);
+  f.system = model::SystemId(7);
+  f.device_address = "8.24";
+  f.serial = "SN3EL03PAV00";
+  return f;
+}
+
+}  // namespace
+
+TEST(PropagationChain, MatchesFigure3ForInterconnect) {
+  const auto chain =
+      log_ns::propagation_chain(sample_failure(model::FailureType::kPhysicalInterconnect));
+  ASSERT_EQ(chain.size(), 6u);
+  // Exactly the event sequence of the paper's Figure 3.
+  EXPECT_EQ(chain[0].code, "fci.device.timeout");
+  EXPECT_EQ(chain[1].code, "fci.adapter.reset");
+  EXPECT_EQ(chain[2].code, "scsi.cmd.abortedByHost");
+  EXPECT_EQ(chain[3].code, "scsi.cmd.selectionTimeout");
+  EXPECT_EQ(chain[4].code, "scsi.cmd.noMorePaths");
+  EXPECT_EQ(chain[5].code, "raid.config.filesystem.disk.missing");
+  // Lower layers report before the RAID layer; timestamps ascend.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain[i - 1].time, chain[i].time);
+  }
+  EXPECT_DOUBLE_EQ(chain.back().time, 50000.0);
+  // The terminal line carries the serial like the paper's example.
+  EXPECT_NE(chain.back().message.find("S/N [SN3EL03PAV00]"), std::string::npos);
+  EXPECT_NE(chain.back().message.find("is missing"), std::string::npos);
+}
+
+TEST(PropagationChain, EveryTypeEndsAtRaidLayer) {
+  for (const auto type : model::kAllFailureTypes) {
+    const auto chain = log_ns::propagation_chain(sample_failure(type));
+    ASSERT_GE(chain.size(), 2u) << model::to_string(type);
+    EXPECT_EQ(chain.back().layer(), log_ns::Layer::kRaid);
+    const auto terminal_type = log_ns::failure_type_of_code(chain.back().code);
+    ASSERT_TRUE(terminal_type.has_value());
+    EXPECT_EQ(*terminal_type, type);
+    // Precursors are below the RAID layer.
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      EXPECT_NE(chain[i].layer(), log_ns::Layer::kRaid) << chain[i].code;
+    }
+  }
+}
+
+TEST(RenderParse, RoundTripsAllFields) {
+  for (const auto type : model::kAllFailureTypes) {
+    for (const auto& record : log_ns::propagation_chain(sample_failure(type, 123456.789))) {
+      const auto line = log_ns::render_line(record);
+      const auto parsed = log_ns::parse_line(line);
+      ASSERT_TRUE(parsed.has_value()) << line;
+      EXPECT_NEAR(parsed->time, record.time, 1e-3);
+      EXPECT_EQ(parsed->code, record.code);
+      EXPECT_EQ(parsed->severity, record.severity);
+      EXPECT_EQ(parsed->disk, record.disk);
+      EXPECT_EQ(parsed->system, record.system);
+      EXPECT_EQ(parsed->message, record.message);
+    }
+  }
+}
+
+TEST(RenderParse, InvalidIdsRenderAsDash) {
+  log_ns::LogRecord record;
+  record.time = 10.0;
+  record.code = "raid.config.disk.failed";
+  record.severity = log_ns::Severity::kError;
+  record.message = "orphan event";
+  const auto line = log_ns::render_line(record);
+  EXPECT_NE(line.find("sys=- disk=-"), std::string::npos);
+  const auto parsed = log_ns::parse_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->disk.valid());
+  EXPECT_FALSE(parsed->system.valid());
+}
+
+TEST(ParseLine, RejectsMalformedLines) {
+  EXPECT_FALSE(log_ns::parse_line("").has_value());
+  EXPECT_FALSE(log_ns::parse_line("console: power button pressed").has_value());
+  EXPECT_FALSE(log_ns::parse_line("D0000 00:00:01 t=abc [x:error] [sys=1 disk=2]: m"));
+  EXPECT_FALSE(log_ns::parse_line("D0000 00:00:01 t=5.0 [no-severity] [sys=1 disk=2]: m"));
+  EXPECT_FALSE(log_ns::parse_line("D0000 00:00:01 t=5.0 [c:error] sys=1 disk=2: m"));
+  EXPECT_FALSE(log_ns::parse_line("D0000 00:00:01 t=5.0 [c:fatal] [sys=1 disk=2]: m"));
+}
+
+TEST(ParseStream, CountsForeignAndMalformed) {
+  std::stringstream text;
+  log_ns::LogEmitter emitter(text);
+  emitter.emit(sample_failure(model::FailureType::kDisk));
+  text << "# a comment line\n";
+  text << "console: operator logged in\n";                        // foreign
+  text << "D0000 00:00:01 t=5.0 [c:fatal] [sys=1 disk=2]: bad\n"; // malformed
+  text << "\n";
+
+  std::vector<log_ns::LogRecord> records;
+  const auto stats = log_ns::parse_stream(text, records);
+  EXPECT_EQ(records.size(), 3u);  // disk chain has 3 records
+  EXPECT_EQ(stats.lines_parsed, 3u);
+  EXPECT_EQ(stats.lines_malformed, 1u);
+  EXPECT_EQ(stats.lines_skipped, 3u);  // comment + foreign + blank
+  EXPECT_EQ(stats.lines_total, 7u);
+}
+
+TEST(ParseStream, SurvivesTruncatedLine) {
+  std::stringstream text;
+  log_ns::LogEmitter emitter(text);
+  emitter.emit(sample_failure(model::FailureType::kProtocol));
+  std::string all = text.str();
+  // Chop the last line mid-way (simulates a crash during log write).
+  all.resize(all.size() - 25);
+  std::stringstream chopped(all);
+  std::vector<log_ns::LogRecord> records;
+  const auto stats = log_ns::parse_stream(chopped, records);
+  EXPECT_GE(records.size(), 2u);
+  EXPECT_EQ(stats.lines_parsed + stats.lines_malformed + stats.lines_skipped,
+            stats.lines_total);
+}
+
+TEST(LogEmitter, CountsLines) {
+  std::stringstream text;
+  log_ns::LogEmitter emitter(text);
+  emitter.emit(sample_failure(model::FailureType::kPhysicalInterconnect));
+  EXPECT_EQ(emitter.lines_written(), 6u);
+  emitter.emit(sample_failure(model::FailureType::kPerformance));
+  EXPECT_EQ(emitter.lines_written(), 9u);
+}
+
+TEST(RenderTimestamp, DayAndTimeOfDay) {
+  EXPECT_EQ(log_ns::render_timestamp(0.0), "D0000 00:00:00");
+  EXPECT_EQ(log_ns::render_timestamp(86400.0 + 3661.0), "D0001 01:01:01");
+  // Negative (precursor before study start) clamps rather than underflows.
+  EXPECT_EQ(log_ns::render_timestamp(-5.0), "D0000 00:00:00");
+}

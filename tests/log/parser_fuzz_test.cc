@@ -1,0 +1,135 @@
+// Parser robustness under random corruption: whatever bytes arrive, the
+// parser must not crash, must not loop, and anything it does accept must be
+// internally consistent.
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "log/emitter.h"
+#include "log/parser.h"
+#include "log/snapshot.h"
+#include "stats/rng.h"
+
+namespace log_ns = storsubsim::log;
+namespace model = storsubsim::model;
+using storsubsim::stats::Rng;
+
+namespace {
+
+std::vector<std::string> seed_lines() {
+  std::vector<std::string> lines;
+  for (const auto type : model::kAllFailureTypes) {
+    log_ns::EmittableFailure f;
+    f.detect_time = 123456.789;
+    f.type = type;
+    f.disk = model::DiskId(42);
+    f.system = model::SystemId(7);
+    f.device_address = "3.18";
+    f.serial = "SNABCDEF0123";
+    for (const auto& record : log_ns::propagation_chain(f)) {
+      lines.push_back(log_ns::render_line(record));
+    }
+  }
+  return lines;
+}
+
+std::string mutate(const std::string& line, Rng& rng) {
+  std::string out = line;
+  const int op = static_cast<int>(rng.below(5));
+  if (out.empty()) return out;
+  const std::size_t pos = static_cast<std::size_t>(rng.below(out.size()));
+  switch (op) {
+    case 0:  // flip a byte
+      out[pos] = static_cast<char>(rng.below(256));
+      break;
+    case 1:  // truncate
+      out.resize(pos);
+      break;
+    case 2:  // delete a span
+      out.erase(pos, rng.below(8) + 1);
+      break;
+    case 3:  // duplicate a span
+      out.insert(pos, out.substr(pos, rng.below(8) + 1));
+      break;
+    case 4:  // splice two lines
+      out = out.substr(0, pos) + out;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, NeverCrashesAndStaysConsistent) {
+  Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  const auto seeds = seed_lines();
+  for (int iter = 0; iter < 4000; ++iter) {
+    const auto& seed = seeds[rng.below(seeds.size())];
+    std::string line = seed;
+    const auto mutations = 1 + rng.below(3);
+    for (std::uint64_t m = 0; m < mutations; ++m) line = mutate(line, rng);
+
+    const auto parsed = log_ns::parse_line(line);
+    if (parsed) {
+      // Whatever survived must be self-consistent, not garbage.
+      EXPECT_TRUE(std::isfinite(parsed->time));
+      EXPECT_FALSE(parsed->code.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0, 4));
+
+TEST(SnapshotFuzz, CorruptSnapshotsRejectedOrConsistent) {
+  // Build one valid snapshot text, then corrupt random lines; the parser
+  // must either reject with a message or produce a referentially-consistent
+  // inventory.
+  const std::string valid =
+      "SNAPSHOT horizon=1000000.0\n"
+      "SYSTEM id=0 class=low-end paths=single-path disk-model=A-2 shelf-model=A "
+      "deploy=0.0 cohort=0\n"
+      "SHELF id=0 sys=0 model=A\n"
+      "GROUP id=0 sys=0 type=RAID4 members=2 span=1\n"
+      "DISK id=0 model=A-2 sys=0 shelf=0 group=0 slot=0 install=0.0 remove=inf\n"
+      "DISK id=1 model=A-2 sys=0 shelf=0 group=0 slot=1 install=0.0 remove=inf\n"
+      "END\n";
+  Rng rng(31415);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string corrupted = valid;
+    const auto mutations = 1 + rng.below(4);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      const std::size_t pos = static_cast<std::size_t>(rng.below(corrupted.size()));
+      switch (rng.below(3)) {
+        case 0:
+          corrupted[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:
+          corrupted.erase(pos, rng.below(10) + 1);
+          break;
+        default:
+          corrupted.insert(pos, 1, static_cast<char>('0' + rng.below(10)));
+          break;
+      }
+      if (corrupted.empty()) corrupted = "END\n";
+    }
+    std::stringstream in(corrupted);
+    const auto result = log_ns::parse_snapshot(in);
+    if (!result.ok()) continue;
+    const auto& inv = result.inventory;
+    for (const auto& sh : inv.shelves) {
+      ASSERT_LT(sh.system.value(), inv.systems.size());
+    }
+    for (const auto& d : inv.disks) {
+      ASSERT_LT(d.system.value(), inv.systems.size());
+      ASSERT_LT(d.shelf.value(), inv.shelves.size());
+      if (d.raid_group.valid()) {
+        ASSERT_LT(d.raid_group.value(), inv.raid_groups.size());
+      }
+    }
+  }
+}

@@ -1,0 +1,76 @@
+// Shelf enclosure registry: 14-slot limit, quirk resolution precedence.
+#include "model/shelf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace model = storsubsim::model;
+
+TEST(ShelfModelName, RenderAndParse) {
+  EXPECT_EQ(model::to_string(model::ShelfModelName{'B'}), "B");
+  const auto parsed = model::parse_shelf_model_name("C");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->letter, 'C');
+  EXPECT_FALSE(model::parse_shelf_model_name("").has_value());
+  EXPECT_FALSE(model::parse_shelf_model_name("BB").has_value());
+  EXPECT_FALSE(model::parse_shelf_model_name("b").has_value());
+}
+
+TEST(ShelfModelRegistry, StandardModels) {
+  const auto& reg = model::ShelfModelRegistry::standard();
+  EXPECT_EQ(reg.all().size(), 3u);
+  for (const char letter : {'A', 'B', 'C'}) {
+    const auto* info = reg.find(model::ShelfModelName{letter});
+    ASSERT_NE(info, nullptr) << letter;
+    // Paper: "All shelf enclosure models studied in this paper can host at
+    // most 14 disks."
+    EXPECT_LE(info->slots, model::kShelfSlots);
+    EXPECT_GT(info->interconnect_afr_pct, 0.0);
+    EXPECT_GT(info->backplane_fraction, 0.0);
+    EXPECT_LT(info->backplane_fraction, 1.0);
+  }
+  EXPECT_EQ(reg.find(model::ShelfModelName{'Q'}), nullptr);
+  EXPECT_THROW(reg.at(model::ShelfModelName{'Q'}), std::out_of_range);
+}
+
+TEST(ShelfModelRegistry, QuirkExactModelPrecedence) {
+  model::ShelfModelInfo info;
+  info.quirks = {{'A', 0, 1.5}, {'A', 2, 0.8}};
+  // Exact model quirk wins over family-wide.
+  EXPECT_DOUBLE_EQ(info.quirk_multiplier('A', 2), 0.8);
+  // Family-wide applies to other capacities.
+  EXPECT_DOUBLE_EQ(info.quirk_multiplier('A', 3), 1.5);
+  // No quirk -> 1.0.
+  EXPECT_DOUBLE_EQ(info.quirk_multiplier('B', 1), 1.0);
+}
+
+TEST(ShelfModelRegistry, Figure6InteroperabilityFlip) {
+  // Finding 6: shelf B is better for Disk A-2, shelf A is better for A-3,
+  // D-2 and D-3 — the quirk table must reproduce the flip.
+  const auto& reg = model::ShelfModelRegistry::standard();
+  const auto& a = reg.at(model::ShelfModelName{'A'});
+  const auto& b = reg.at(model::ShelfModelName{'B'});
+  auto pi = [](const model::ShelfModelInfo& shelf, char family, int index) {
+    return shelf.interconnect_afr_pct * shelf.quirk_multiplier(family, index);
+  };
+  EXPECT_GT(pi(a, 'A', 2), pi(b, 'A', 2));  // B better for A-2
+  EXPECT_LT(pi(a, 'A', 3), pi(b, 'A', 3));  // A better for A-3
+  EXPECT_LT(pi(a, 'D', 2), pi(b, 'D', 2));  // A better for D-2
+  EXPECT_LT(pi(a, 'D', 3), pi(b, 'D', 3));  // A better for D-3
+}
+
+TEST(ShelfModelRegistry, RejectsDuplicatesAndOversizedShelves) {
+  std::vector<model::ShelfModelInfo> dup(2);
+  dup[0].name = {'X'};
+  dup[1].name = {'X'};
+  EXPECT_THROW(model::ShelfModelRegistry{dup}, std::invalid_argument);
+
+  std::vector<model::ShelfModelInfo> oversized(1);
+  oversized[0].name = {'Y'};
+  oversized[0].slots = 15;
+  EXPECT_THROW(model::ShelfModelRegistry{oversized}, std::invalid_argument);
+
+  std::vector<model::ShelfModelInfo> empty_shelf(1);
+  empty_shelf[0].name = {'Z'};
+  empty_shelf[0].slots = 0;
+  EXPECT_THROW(model::ShelfModelRegistry{empty_shelf}, std::invalid_argument);
+}

@@ -1,0 +1,81 @@
+// Scenario helpers: toggles preserve calibrated means while removing
+// correlation; span ablation produces the configured spans.
+#include "sim/scenario.h"
+
+#include <array>
+
+#include <gtest/gtest.h>
+
+#include "sim/log_bridge.h"
+
+namespace sim = storsubsim::sim;
+namespace model = storsubsim::model;
+
+TEST(ApplyToggles, KnockoutsNeutralizeMechanisms) {
+  sim::MechanismToggles off;
+  off.shelf_badness = false;
+  off.hawkes = false;
+  off.environment_windows = false;
+  off.interconnect_clusters = false;
+  off.driver_windows = false;
+  off.congestion_windows = false;
+  const auto p = sim::apply_toggles(sim::SimParams::standard(), off);
+  EXPECT_GE(p.shelf_badness_shape, 1e5);
+  EXPECT_DOUBLE_EQ(p.hawkes_branching, 0.0);
+  EXPECT_DOUBLE_EQ(p.environment.multiplier, 1.0);
+  EXPECT_LE(p.pi_cluster_prob_shelf, 0.02);
+  EXPECT_DOUBLE_EQ(p.driver.multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(p.protocol_incidents.clustered_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(p.congestion.multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(p.performance_incidents.clustered_fraction, 0.0);
+}
+
+TEST(ApplyToggles, DefaultTogglesChangeNothing) {
+  const auto p = sim::apply_toggles(sim::SimParams::standard(), sim::MechanismToggles{});
+  const auto q = sim::SimParams::standard();
+  EXPECT_DOUBLE_EQ(p.shelf_badness_shape, q.shelf_badness_shape);
+  EXPECT_DOUBLE_EQ(p.hawkes_branching, q.hawkes_branching);
+  EXPECT_DOUBLE_EQ(p.pi_cluster_prob_shelf, q.pi_cluster_prob_shelf);
+  EXPECT_DOUBLE_EQ(p.protocol_incidents.clustered_fraction,
+                   q.protocol_incidents.clustered_fraction);
+}
+
+TEST(MechanismToggles, DescribeListsState) {
+  sim::MechanismToggles t;
+  t.hawkes = false;
+  const auto s = t.describe();
+  EXPECT_NE(s.find("hawkes=off"), std::string::npos);
+  EXPECT_NE(s.find("badness=on"), std::string::npos);
+}
+
+TEST(SpanAblation, ProducesConfiguredSpan) {
+  for (const std::size_t span : {1u, 3u}) {
+    auto fs = sim::run_span_ablation(span, 0.02, 5);
+    for (const auto& group : fs.fleet.raid_groups()) {
+      EXPECT_LE(group.shelf_span(), span);
+    }
+    if (span == 1) {
+      for (const auto& group : fs.fleet.raid_groups()) {
+        EXPECT_EQ(group.shelf_span(), 1u);
+      }
+    }
+  }
+}
+
+TEST(RunStandard, ProducesAllClassesAndFailureTypes) {
+  auto fs = sim::run_standard(0.02, 77);
+  std::array<bool, 4> class_seen{};
+  for (const auto& system : fs.fleet.systems()) {
+    class_seen[model::index_of(system.cls)] = true;
+  }
+  for (const auto seen : class_seen) EXPECT_TRUE(seen);
+  for (const auto count : fs.result.counters.events_by_type) EXPECT_GT(count, 0u);
+}
+
+TEST(LogBridge, DeviceAddressStable) {
+  auto fs = sim::run_standard(0.005, 78);
+  ASSERT_FALSE(fs.result.failures.empty());
+  const auto addr = sim::device_address(fs.fleet, fs.result.failures[0].disk);
+  EXPECT_NE(addr.find('.'), std::string::npos);
+  EXPECT_EQ(addr, sim::device_address(fs.fleet, fs.result.failures[0].disk));
+}

@@ -1,0 +1,89 @@
+// Percentile bootstrap: determinism, interval behavior, coverage sanity.
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+#include "stats/summary.h"
+
+namespace stats = storsubsim::stats;
+
+namespace {
+
+double mean_stat(std::span<const double> xs) { return stats::mean_of(xs); }
+
+}  // namespace
+
+TEST(Bootstrap, PointEstimateIsSampleStatistic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  stats::Rng rng(1);
+  const auto ci = stats::bootstrap_ci(xs, mean_stat, 0.95, 500, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+}
+
+TEST(Bootstrap, DeterministicGivenRng) {
+  const std::vector<double> xs = {2.0, 4.0, 8.0, 16.0};
+  stats::Rng r1(9), r2(9);
+  const auto a = stats::bootstrap_ci(xs, mean_stat, 0.9, 300, r1);
+  const auto b = stats::bootstrap_ci(xs, mean_stat, 0.9, 300, r2);
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, DegenerateSampleGivesZeroWidth) {
+  const std::vector<double> xs(20, 7.0);
+  stats::Rng rng(3);
+  const auto ci = stats::bootstrap_ci(xs, mean_stat, 0.99, 200, rng);
+  EXPECT_DOUBLE_EQ(ci.lower, 7.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 7.0);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  stats::Rng data_rng(17);
+  std::vector<double> xs(100);
+  for (auto& x : xs) x = stats::sample_standard_normal(data_rng);
+  stats::Rng r1(5), r2(5);
+  const auto narrow = stats::bootstrap_ci(xs, mean_stat, 0.80, 1000, r1);
+  const auto wide = stats::bootstrap_ci(xs, mean_stat, 0.99, 1000, r2);
+  EXPECT_GT(wide.upper - wide.lower, narrow.upper - narrow.lower);
+}
+
+TEST(Bootstrap, DistributionSortedAndSized) {
+  const std::vector<double> xs = {1.0, 5.0, 9.0};
+  stats::Rng rng(4);
+  const auto dist = stats::bootstrap_distribution(xs, mean_stat, 250, rng);
+  ASSERT_EQ(dist.size(), 250u);
+  EXPECT_TRUE(std::is_sorted(dist.begin(), dist.end()));
+}
+
+TEST(Bootstrap, EmptySampleThrows) {
+  stats::Rng rng(6);
+  EXPECT_THROW(stats::bootstrap_ci(std::vector<double>{}, mean_stat, 0.95, 100, rng),
+               std::invalid_argument);
+  EXPECT_THROW(stats::bootstrap_ci(std::vector<double>{1.0}, mean_stat, 1.5, 100, rng),
+               std::invalid_argument);
+}
+
+TEST(Bootstrap, CoverageForMean) {
+  // 90% bootstrap CI for the mean of an exponential should cover the true
+  // mean in roughly 90% of repetitions.
+  stats::Rng rng(77);
+  const stats::Exponential d(1.0 / 3.0);  // mean 3
+  int covered = 0;
+  const int trials = 120;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs(80);
+    for (auto& x : xs) x = d.sample(rng);
+    const auto ci = stats::bootstrap_ci(xs, mean_stat, 0.90, 400, rng);
+    if (ci.contains(3.0)) ++covered;
+  }
+  EXPECT_GE(covered, static_cast<int>(0.78 * trials));
+  EXPECT_LE(covered, trials);
+}

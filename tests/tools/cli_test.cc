@@ -1,0 +1,150 @@
+// End-to-end test of the storsubsim CLI binary: simulate writes log +
+// snapshot files, analyze and predict consume them. Exercises the file-based
+// path (everything else in the suite uses in-memory streams).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef STORSUBSIM_CLI_PATH
+#error "STORSUBSIM_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+/// PID-unique paths: ctest's per-test discovery runs each TEST in its own
+/// process, possibly in parallel, so shared filenames would race.
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+/// Runs the CLI, captures stdout into a file, returns (exit code, stdout).
+std::pair<int, std::string> run_cli(const std::string& args) {
+  const std::string out_path = temp_path("cli_stdout.txt");
+  const std::string command =
+      std::string(STORSUBSIM_CLI_PATH) + " " + args + " > " + out_path + " 2>/dev/null";
+  const int status = std::system(command.c_str());
+  std::ifstream in(out_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return {status, buffer.str()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    logs_path_ = temp_path("cli_fleet.log");
+    snap_path_ = temp_path("cli_fleet.snap");
+    const auto [status, out] = run_cli("simulate --logs " + logs_path_ + " --snapshot " +
+                                       snap_path_ + " --scale 0.01 --seed 4 --precursors");
+    ASSERT_EQ(status, 0) << out;
+  }
+
+  static std::string logs_path_;
+  static std::string snap_path_;
+};
+
+std::string CliTest::logs_path_;
+std::string CliTest::snap_path_;
+
+}  // namespace
+
+TEST_F(CliTest, SimulateProducesParsableFiles) {
+  std::ifstream logs(logs_path_);
+  ASSERT_TRUE(logs.good());
+  std::string first_line;
+  std::getline(logs, first_line);
+  EXPECT_NE(first_line.find(" t="), std::string::npos);
+
+  std::ifstream snap(snap_path_);
+  ASSERT_TRUE(snap.good());
+  std::string header;
+  std::getline(snap, header);
+  EXPECT_EQ(header.rfind("SNAPSHOT ", 0), 0u);
+}
+
+TEST_F(CliTest, AnalyzeAfr) {
+  const auto [status, out] =
+      run_cli("analyze --logs " + logs_path_ + " --snapshot " + snap_path_ +
+              " --report afr --exclude-h");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("near-line"), std::string::npos);
+  EXPECT_NE(out.find("total AFR"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeCorrelationCsv) {
+  const auto [status, out] = run_cli("analyze --logs " + logs_path_ + " --snapshot " +
+                                     snap_path_ + " --report correlation --csv");
+  EXPECT_EQ(status, 0);
+  // CSV mode: comma-separated header, no table pipes.
+  EXPECT_NE(out.find("scope,type,windows"), std::string::npos);
+  EXPECT_EQ(out.find("| scope"), std::string::npos);
+}
+
+TEST_F(CliTest, EventsExportCsv) {
+  const auto [status, out] = run_cli("analyze --logs " + logs_path_ + " --snapshot " +
+                                     snap_path_ + " --report events --csv");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("time_s,type,disk"), std::string::npos);
+  EXPECT_NE(out.find("physical-interconnect"), std::string::npos);
+  // At least a few hundred rows at scale 0.01.
+  EXPECT_GT(std::count(out.begin(), out.end(), '\n'), 100);
+}
+
+TEST_F(CliTest, AnalyzeBurstinessAndVulnerability) {
+  for (const char* report : {"burstiness", "vulnerability"}) {
+    const auto [status, out] = run_cli("analyze --logs " + logs_path_ + " --snapshot " +
+                                       snap_path_ + " --report " + report);
+    EXPECT_EQ(status, 0) << report;
+    EXPECT_FALSE(out.empty()) << report;
+  }
+}
+
+TEST_F(CliTest, InspectFromSnapshotAlone) {
+  const auto [status, out] = run_cli("inspect --snapshot " + snap_path_);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("RAID groups"), std::string::npos);
+  EXPECT_NE(out.find("near-line"), std::string::npos);
+  EXPECT_NE(out.find("disk model"), std::string::npos);
+}
+
+TEST_F(CliTest, Predict) {
+  const auto [status, out] = run_cli("predict --logs " + logs_path_ + " --snapshot " +
+                                     snap_path_ + " --threshold 3");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("medium-error -> disk"), std::string::npos);
+  EXPECT_NE(out.find("precision"), std::string::npos);
+}
+
+TEST_F(CliTest, ClassFilter) {
+  const auto [status, out] = run_cli("analyze --logs " + logs_path_ + " --snapshot " +
+                                     snap_path_ + " --report afr --class low-end");
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(out.find("low-end"), std::string::npos);
+  EXPECT_EQ(out.find("near-line"), std::string::npos);
+}
+
+TEST(CliUsage, BadInvocationsFail) {
+  EXPECT_NE(run_cli("").first, 0);
+  EXPECT_NE(run_cli("frobnicate").first, 0);
+  EXPECT_NE(run_cli("analyze --report afr").first, 0);  // missing files
+  EXPECT_NE(run_cli("analyze --logs /nonexistent.log --snapshot /nonexistent.snap "
+                    "--report afr")
+                .first,
+            0);
+}
+
+TEST(CliUsage, UnknownClassRejected) {
+  const std::string logs = temp_path("cli_fleet.log");
+  const std::string snap = temp_path("cli_fleet.snap");
+  EXPECT_NE(run_cli("analyze --logs " + logs + " --snapshot " + snap +
+                    " --report afr --class warp-core")
+                .first,
+            0);
+}

@@ -1,0 +1,372 @@
+// storsubsim — command-line front end.
+//
+// Produces and consumes the same artifacts the paper's pipeline used: text
+// support logs and configuration snapshots, as files on disk.
+//
+//   storsubsim simulate --scale 0.1 --seed 7 --logs fleet.log
+//       --snapshot fleet.snap [--precursors]
+//   storsubsim analyze  --logs fleet.log --snapshot fleet.snap
+//       --report afr|burstiness|correlation|vulnerability|events
+//       [--class low-end] [--exclude-h] [--csv]
+//   storsubsim inspect  --snapshot fleet.snap
+//   storsubsim predict  --logs fleet.log --snapshot fleet.snap
+//       [--threshold 3] [--window-days 14] [--horizon-days 30]
+//
+// `analyze`, `inspect` and `predict` know nothing about the simulator's internals —
+// they parse whatever log/snapshot files you give them, so logs produced by
+// other tools (or hand-edited scenarios) work as well.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/afr.h"
+#include "core/burstiness.h"
+#include "core/correlation.h"
+#include "core/prediction.h"
+#include "core/raid_vulnerability.h"
+#include "core/report.h"
+#include "log/classifier.h"
+#include "log/parser.h"
+#include "log/snapshot.h"
+#include "model/fleet_config.h"
+#include "sim/log_bridge.h"
+#include "sim/precursors.h"
+#include "sim/scenario.h"
+
+using namespace storsubsim;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool has_flag(const std::string& name) const {
+    for (const auto& f : flags) {
+      if (f == name) return true;
+    }
+    return false;
+  }
+  std::string get(const std::string& name, const std::string& fallback = "") const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& name, double fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[arg] = argv[++i];
+    } else {
+      args.flags.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      R"(usage:
+  storsubsim simulate --logs FILE --snapshot FILE [--scale S] [--seed N] [--precursors]
+  storsubsim analyze  --logs FILE --snapshot FILE
+                      --report afr|burstiness|correlation|vulnerability|events
+                      [--class CLASS] [--exclude-h] [--csv]
+  storsubsim inspect  --snapshot FILE [--csv]
+  storsubsim predict  --logs FILE --snapshot FILE [--threshold K] [--window-days W] [--horizon-days H]
+)";
+  return 2;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string log_path = args.get("logs");
+  const std::string snap_path = args.get("snapshot");
+  if (log_path.empty() || snap_path.empty()) return usage();
+  const double scale = args.get_double("scale", 0.1);
+  const auto seed = static_cast<std::uint64_t>(args.get_double("seed", 20080226));
+
+  std::cerr << "simulating the standard fleet at scale " << scale << " (seed " << seed
+            << ")...\n";
+  auto fs = sim::run_standard(scale, seed);
+
+  std::ofstream logs(log_path);
+  if (!logs) {
+    std::cerr << "cannot write " << log_path << "\n";
+    return 1;
+  }
+  std::size_t lines = sim::write_failure_logs(logs, fs.fleet, fs.result.failures);
+  if (args.has_flag("precursors")) {
+    const auto precursors =
+        sim::generate_precursors(fs.fleet, fs.result, sim::PrecursorParams::standard());
+    lines += sim::write_precursor_logs(logs, fs.fleet, precursors);
+  }
+  std::ofstream snap(snap_path);
+  if (!snap) {
+    std::cerr << "cannot write " << snap_path << "\n";
+    return 1;
+  }
+  log::write_snapshot(snap, fs.fleet);
+
+  std::cerr << "wrote " << lines << " log lines to " << log_path << " and "
+            << fs.fleet.systems().size() << "-system snapshot to " << snap_path << "\n";
+  return 0;
+}
+
+std::optional<core::Dataset> load_dataset(const Args& args,
+                                          std::vector<log::LogRecord>* records_out) {
+  const std::string log_path = args.get("logs");
+  const std::string snap_path = args.get("snapshot");
+  if (log_path.empty() || snap_path.empty()) return std::nullopt;
+
+  std::ifstream logs(log_path);
+  if (!logs) {
+    std::cerr << "cannot read " << log_path << "\n";
+    return std::nullopt;
+  }
+  std::vector<log::LogRecord> records;
+  const auto parse_stats = log::parse_stream(logs, records);
+  std::cerr << "parsed " << parse_stats.lines_parsed << "/" << parse_stats.lines_total
+            << " log lines (" << parse_stats.lines_malformed << " malformed)\n";
+
+  std::ifstream snap(snap_path);
+  if (!snap) {
+    std::cerr << "cannot read " << snap_path << "\n";
+    return std::nullopt;
+  }
+  auto snapshot = log::parse_snapshot(snap);
+  if (!snapshot.ok()) {
+    std::cerr << "snapshot error: " << snapshot.error << "\n";
+    return std::nullopt;
+  }
+
+  auto failures = log::classify(records);
+  if (records_out != nullptr) *records_out = std::move(records);
+  core::Dataset dataset(std::make_shared<log::Inventory>(std::move(snapshot.inventory)),
+                        std::move(failures));
+
+  core::Filter filter;
+  if (args.has_flag("exclude-h")) filter.exclude_family_h = true;
+  const std::string cls = args.get("class");
+  if (!cls.empty()) {
+    const auto parsed = model::parse_system_class(cls);
+    if (!parsed) {
+      std::cerr << "unknown system class '" << cls << "'\n";
+      return std::nullopt;
+    }
+    filter.system_class = parsed;
+  }
+  return dataset.filter(filter);
+}
+
+void print(const core::TextTable& table, const Args& args) {
+  if (args.has_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+int cmd_analyze(const Args& args) {
+  const auto dataset = load_dataset(args, nullptr);
+  if (!dataset) return usage();
+  const std::string report = args.get("report", "afr");
+
+  if (report == "afr") {
+    core::TextTable table({"class", "disk", "interconnect", "protocol", "performance",
+                           "total AFR", "disk-years"});
+    for (const auto& b : core::afr_by_class(*dataset)) {
+      table.add_row({b.label, core::fmt(b.afr_pct(model::FailureType::kDisk), 2),
+                     core::fmt(b.afr_pct(model::FailureType::kPhysicalInterconnect), 2),
+                     core::fmt(b.afr_pct(model::FailureType::kProtocol), 2),
+                     core::fmt(b.afr_pct(model::FailureType::kPerformance), 2),
+                     core::fmt(b.total_afr_pct(), 2), core::fmt(b.disk_years, 0)});
+    }
+    print(table, args);
+  } else if (report == "burstiness") {
+    core::TextTable table({"scope", "series", "gaps", "within 10^3 s", "within 10^4 s",
+                           "within 10^5 s"});
+    for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
+      const auto r = core::time_between_failures(*dataset, scope);
+      const char* scope_name = scope == core::Scope::kShelf ? "shelf" : "raid-group";
+      for (std::size_t s = 0; s < core::kSeriesCount; ++s) {
+        const std::string label =
+            s == core::kOverallSeries
+                ? "overall"
+                : std::string(model::to_string(model::kAllFailureTypes[s]));
+        table.add_row({scope_name, label, std::to_string(r.gap_count(s)),
+                       core::fmt_pct(r.fraction_within(s, 1e3), 1),
+                       core::fmt_pct(r.fraction_within(s, 1e4), 1),
+                       core::fmt_pct(r.fraction_within(s, 1e5), 1)});
+      }
+    }
+    print(table, args);
+  } else if (report == "correlation") {
+    core::TextTable table(
+        {"scope", "type", "windows", "P(1)", "P(2)", "theory P(2)", "factor"});
+    for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
+      for (const auto& r : core::failure_correlation_all_types(*dataset, scope)) {
+        table.add_row({scope == core::Scope::kShelf ? "shelf" : "raid-group",
+                       std::string(model::to_string(r.type)),
+                       std::to_string(r.windows_observed),
+                       core::fmt(100.0 * r.empirical_p1(), 3) + "%",
+                       core::fmt(100.0 * r.empirical_p2(), 3) + "%",
+                       core::fmt(100.0 * r.theoretical_p2(), 4) + "%",
+                       core::fmt(r.correlation_factor(), 1) + "x"});
+      }
+    }
+    print(table, args);
+  } else if (report == "events") {
+    // Raw classified-failure export (one row per failure, joined with the
+    // inventory) — feed to R/pandas/duckdb for analyses this tool lacks.
+    core::TextTable table({"time_s", "type", "disk", "system", "shelf", "raid_group",
+                           "disk_model", "shelf_model", "class", "paths"});
+    for (const auto& e : dataset->events()) {
+      const auto& disk = dataset->disk_of(e);
+      const auto& sys = dataset->system_of(e);
+      table.add_row({core::fmt(e.time, 3), std::string(model::to_string(e.type)),
+                     std::to_string(e.disk.value()), std::to_string(sys.id.value()),
+                     std::to_string(disk.shelf.value()),
+                     disk.raid_group.valid() ? std::to_string(disk.raid_group.value()) : "-",
+                     model::to_string(disk.model), model::to_string(sys.shelf_model),
+                     std::string(model::to_string(sys.cls)),
+                     std::string(model::to_string(sys.paths))});
+    }
+    print(table, args);
+  } else if (report == "vulnerability") {
+    core::TextTable table({"window", "mode", "double incidents", "independent model",
+                           "underestimation", "RAID4 defeated", "RAID6 defeated"});
+    for (const bool disk_only : {true, false}) {
+      for (const double hours : {6.0, 24.0, 72.0}) {
+        const auto r = core::raid_vulnerability(*dataset, hours * 3600.0, disk_only);
+        table.add_row({core::fmt(hours, 0) + "h", disk_only ? "disk-only" : "all-types",
+                       std::to_string(r.double_failure_incidents),
+                       core::fmt(r.expected_double_incidents_independent, 1),
+                       core::fmt(r.underestimation_factor(), 1) + "x",
+                       std::to_string(r.raid4_groups_defeated),
+                       std::to_string(r.raid6_groups_defeated)});
+      }
+    }
+    print(table, args);
+  } else {
+    std::cerr << "unknown report '" << report << "'\n";
+    return usage();
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  // Fleet overview from a snapshot alone (no failure logs needed).
+  const std::string snap_path = args.get("snapshot");
+  if (snap_path.empty()) return usage();
+  std::ifstream snap(snap_path);
+  if (!snap) {
+    std::cerr << "cannot read " << snap_path << "\n";
+    return 1;
+  }
+  auto snapshot = log::parse_snapshot(snap);
+  if (!snapshot.ok()) {
+    std::cerr << "snapshot error: " << snapshot.error << "\n";
+    return 1;
+  }
+  const core::Dataset dataset(
+      std::make_shared<log::Inventory>(std::move(snapshot.inventory)), {});
+
+  core::TextTable table({"class", "systems", "shelves", "RAID groups", "disk records",
+                         "disk-years", "dual-path systems"});
+  for (const auto cls : model::kAllSystemClasses) {
+    core::Filter f;
+    f.system_class = cls;
+    const auto cohort = dataset.filter(f);
+    if (cohort.selected_system_count() == 0) continue;
+    std::size_t dual = 0;
+    for (const auto& sys : cohort.inventory().systems) {
+      if (cohort.system_selected(sys.id) && sys.paths == model::PathConfig::kDualPath) {
+        ++dual;
+      }
+    }
+    table.add_row({std::string(model::to_string(cls)),
+                   std::to_string(cohort.selected_system_count()),
+                   std::to_string(cohort.selected_shelf_count()),
+                   std::to_string(cohort.selected_raid_group_count()),
+                   std::to_string(cohort.selected_disk_record_count()),
+                   core::fmt(cohort.disk_exposure_years(), 0), std::to_string(dual)});
+  }
+  print(table, args);
+
+  core::TextTable models({"disk model", "systems", "disk records"});
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_model;
+  for (const auto& sys : dataset.inventory().systems) {
+    ++by_model[model::to_string(sys.disk_model)].first;
+  }
+  for (const auto& d : dataset.inventory().disks) {
+    ++by_model[model::to_string(d.model)].second;
+  }
+  for (const auto& [name, counts] : by_model) {
+    models.add_row({name, std::to_string(counts.first), std::to_string(counts.second)});
+  }
+  print(models, args);
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  std::vector<log::LogRecord> records;
+  const auto dataset = load_dataset(args, &records);
+  if (!dataset) return usage();
+  const auto precursors = sim::extract_precursors(records);
+  if (precursors.empty()) {
+    std::cerr << "no component-error records in the logs — simulate with --precursors\n";
+    return 1;
+  }
+
+  core::PredictorConfig config;
+  config.threshold = static_cast<std::size_t>(args.get_double("threshold", 3));
+  config.window_seconds = args.get_double("window-days", 14.0) * model::kSecondsPerDay;
+  config.horizon_seconds = args.get_double("horizon-days", 30.0) * model::kSecondsPerDay;
+
+  core::TextTable table({"signal -> target", "alarms", "precision", "recall", "median lead",
+                         "false alarms / 1000 dy"});
+  const struct {
+    sim::PrecursorKind signal;
+    model::FailureType target;
+  } pairs[] = {
+      {sim::PrecursorKind::kMediumError, model::FailureType::kDisk},
+      {sim::PrecursorKind::kLinkReset, model::FailureType::kPhysicalInterconnect},
+      {sim::PrecursorKind::kCmdTimeout, model::FailureType::kPerformance},
+  };
+  for (const auto& p : pairs) {
+    config.signal = p.signal;
+    config.target = p.target;
+    const auto r = core::evaluate_predictor(*dataset, precursors, config);
+    table.add_row({std::string(sim::to_string(p.signal)) + " -> " +
+                       std::string(model::to_string(p.target)),
+                   std::to_string(r.alarms), core::fmt_pct(r.precision(), 1),
+                   core::fmt_pct(r.recall(), 1),
+                   core::fmt(r.median_lead_seconds / model::kSecondsPerDay, 1) + " days",
+                   core::fmt(1000.0 * r.false_alarms_per_disk_year, 2)});
+  }
+  print(table, args);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "inspect") return cmd_inspect(args);
+  if (args.command == "predict") return cmd_predict(args);
+  return usage();
+}
