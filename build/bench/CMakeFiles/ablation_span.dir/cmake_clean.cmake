@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_span.dir/ablation_span.cc.o"
+  "CMakeFiles/ablation_span.dir/ablation_span.cc.o.d"
+  "ablation_span"
+  "ablation_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_correlation.dir/fig10_correlation.cc.o"
+  "CMakeFiles/fig10_correlation.dir/fig10_correlation.cc.o.d"
+  "fig10_correlation"
+  "fig10_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_afr_by_class.dir/fig4_afr_by_class.cc.o"
+  "CMakeFiles/fig4_afr_by_class.dir/fig4_afr_by_class.cc.o.d"
+  "fig4_afr_by_class"
+  "fig4_afr_by_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_afr_by_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

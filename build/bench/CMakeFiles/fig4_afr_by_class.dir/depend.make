@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_afr_by_class.
+# This may be replaced when dependencies are built.

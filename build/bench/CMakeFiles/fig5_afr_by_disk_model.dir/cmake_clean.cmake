@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_afr_by_disk_model.dir/fig5_afr_by_disk_model.cc.o"
+  "CMakeFiles/fig5_afr_by_disk_model.dir/fig5_afr_by_disk_model.cc.o.d"
+  "fig5_afr_by_disk_model"
+  "fig5_afr_by_disk_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_afr_by_disk_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

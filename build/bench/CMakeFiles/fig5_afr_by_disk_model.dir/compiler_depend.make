@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_afr_by_disk_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_shelf_model.dir/fig6_shelf_model.cc.o"
+  "CMakeFiles/fig6_shelf_model.dir/fig6_shelf_model.cc.o.d"
+  "fig6_shelf_model"
+  "fig6_shelf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_shelf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

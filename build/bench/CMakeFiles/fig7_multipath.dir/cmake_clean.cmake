@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multipath.dir/fig7_multipath.cc.o"
+  "CMakeFiles/fig7_multipath.dir/fig7_multipath.cc.o.d"
+  "fig7_multipath"
+  "fig7_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

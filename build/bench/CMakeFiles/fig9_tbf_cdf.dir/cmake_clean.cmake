@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tbf_cdf.dir/fig9_tbf_cdf.cc.o"
+  "CMakeFiles/fig9_tbf_cdf.dir/fig9_tbf_cdf.cc.o.d"
+  "fig9_tbf_cdf"
+  "fig9_tbf_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tbf_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

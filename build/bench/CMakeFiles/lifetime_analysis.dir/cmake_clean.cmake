@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_analysis.dir/lifetime_analysis.cc.o"
+  "CMakeFiles/lifetime_analysis.dir/lifetime_analysis.cc.o.d"
+  "lifetime_analysis"
+  "lifetime_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_eval.dir/prediction_eval.cc.o"
+  "CMakeFiles/prediction_eval.dir/prediction_eval.cc.o.d"
+  "prediction_eval"
+  "prediction_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

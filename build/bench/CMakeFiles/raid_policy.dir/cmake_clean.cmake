@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_policy.dir/raid_policy.cc.o"
+  "CMakeFiles/raid_policy.dir/raid_policy.cc.o.d"
+  "raid_policy"
+  "raid_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for raid_policy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overview.dir/table1_overview.cc.o"
+  "CMakeFiles/table1_overview.dir/table1_overview.cc.o.d"
+  "table1_overview"
+  "table1_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_study.dir/availability_study.cpp.o"
+  "CMakeFiles/availability_study.dir/availability_study.cpp.o.d"
+  "availability_study"
+  "availability_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_model_fitting.dir/failure_model_fitting.cpp.o"
+  "CMakeFiles/failure_model_fitting.dir/failure_model_fitting.cpp.o.d"
+  "failure_model_fitting"
+  "failure_model_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_model_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for failure_model_fitting.
+# This may be replaced when dependencies are built.

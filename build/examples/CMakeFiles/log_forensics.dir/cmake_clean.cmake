@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_forensics.dir/log_forensics.cpp.o"
+  "CMakeFiles/log_forensics.dir/log_forensics.cpp.o.d"
+  "log_forensics"
+  "log_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_planner.dir/reliability_planner.cpp.o"
+  "CMakeFiles/reliability_planner.dir/reliability_planner.cpp.o.d"
+  "reliability_planner"
+  "reliability_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

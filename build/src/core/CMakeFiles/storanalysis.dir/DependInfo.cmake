@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/afr.cc" "src/core/CMakeFiles/storanalysis.dir/afr.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/afr.cc.o.d"
+  "/root/repo/src/core/burstiness.cc" "src/core/CMakeFiles/storanalysis.dir/burstiness.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/burstiness.cc.o.d"
+  "/root/repo/src/core/correlation.cc" "src/core/CMakeFiles/storanalysis.dir/correlation.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/correlation.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/storanalysis.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/dataset.cc.o.d"
+  "/root/repo/src/core/distribution_fit.cc" "src/core/CMakeFiles/storanalysis.dir/distribution_fit.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/distribution_fit.cc.o.d"
+  "/root/repo/src/core/lifetime.cc" "src/core/CMakeFiles/storanalysis.dir/lifetime.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/lifetime.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/storanalysis.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/storanalysis.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/prediction.cc.o.d"
+  "/root/repo/src/core/raid_model.cc" "src/core/CMakeFiles/storanalysis.dir/raid_model.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/raid_model.cc.o.d"
+  "/root/repo/src/core/raid_vulnerability.cc" "src/core/CMakeFiles/storanalysis.dir/raid_vulnerability.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/raid_vulnerability.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/storanalysis.dir/report.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/report.cc.o.d"
+  "/root/repo/src/core/significance.cc" "src/core/CMakeFiles/storanalysis.dir/significance.cc.o" "gcc" "src/core/CMakeFiles/storanalysis.dir/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/storstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stormodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/storlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

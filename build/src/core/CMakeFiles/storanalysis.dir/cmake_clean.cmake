@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storanalysis.dir/afr.cc.o"
+  "CMakeFiles/storanalysis.dir/afr.cc.o.d"
+  "CMakeFiles/storanalysis.dir/burstiness.cc.o"
+  "CMakeFiles/storanalysis.dir/burstiness.cc.o.d"
+  "CMakeFiles/storanalysis.dir/correlation.cc.o"
+  "CMakeFiles/storanalysis.dir/correlation.cc.o.d"
+  "CMakeFiles/storanalysis.dir/dataset.cc.o"
+  "CMakeFiles/storanalysis.dir/dataset.cc.o.d"
+  "CMakeFiles/storanalysis.dir/distribution_fit.cc.o"
+  "CMakeFiles/storanalysis.dir/distribution_fit.cc.o.d"
+  "CMakeFiles/storanalysis.dir/lifetime.cc.o"
+  "CMakeFiles/storanalysis.dir/lifetime.cc.o.d"
+  "CMakeFiles/storanalysis.dir/pipeline.cc.o"
+  "CMakeFiles/storanalysis.dir/pipeline.cc.o.d"
+  "CMakeFiles/storanalysis.dir/prediction.cc.o"
+  "CMakeFiles/storanalysis.dir/prediction.cc.o.d"
+  "CMakeFiles/storanalysis.dir/raid_model.cc.o"
+  "CMakeFiles/storanalysis.dir/raid_model.cc.o.d"
+  "CMakeFiles/storanalysis.dir/raid_vulnerability.cc.o"
+  "CMakeFiles/storanalysis.dir/raid_vulnerability.cc.o.d"
+  "CMakeFiles/storanalysis.dir/report.cc.o"
+  "CMakeFiles/storanalysis.dir/report.cc.o.d"
+  "CMakeFiles/storanalysis.dir/significance.cc.o"
+  "CMakeFiles/storanalysis.dir/significance.cc.o.d"
+  "libstoranalysis.a"
+  "libstoranalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

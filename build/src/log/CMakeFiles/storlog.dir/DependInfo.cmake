@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/classifier.cc" "src/log/CMakeFiles/storlog.dir/classifier.cc.o" "gcc" "src/log/CMakeFiles/storlog.dir/classifier.cc.o.d"
+  "/root/repo/src/log/emitter.cc" "src/log/CMakeFiles/storlog.dir/emitter.cc.o" "gcc" "src/log/CMakeFiles/storlog.dir/emitter.cc.o.d"
+  "/root/repo/src/log/parser.cc" "src/log/CMakeFiles/storlog.dir/parser.cc.o" "gcc" "src/log/CMakeFiles/storlog.dir/parser.cc.o.d"
+  "/root/repo/src/log/record.cc" "src/log/CMakeFiles/storlog.dir/record.cc.o" "gcc" "src/log/CMakeFiles/storlog.dir/record.cc.o.d"
+  "/root/repo/src/log/snapshot.cc" "src/log/CMakeFiles/storlog.dir/snapshot.cc.o" "gcc" "src/log/CMakeFiles/storlog.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/stormodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/storstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

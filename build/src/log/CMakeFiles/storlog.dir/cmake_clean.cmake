@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storlog.dir/classifier.cc.o"
+  "CMakeFiles/storlog.dir/classifier.cc.o.d"
+  "CMakeFiles/storlog.dir/emitter.cc.o"
+  "CMakeFiles/storlog.dir/emitter.cc.o.d"
+  "CMakeFiles/storlog.dir/parser.cc.o"
+  "CMakeFiles/storlog.dir/parser.cc.o.d"
+  "CMakeFiles/storlog.dir/record.cc.o"
+  "CMakeFiles/storlog.dir/record.cc.o.d"
+  "CMakeFiles/storlog.dir/snapshot.cc.o"
+  "CMakeFiles/storlog.dir/snapshot.cc.o.d"
+  "libstorlog.a"
+  "libstorlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

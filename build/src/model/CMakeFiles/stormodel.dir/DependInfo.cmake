@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/disk_model.cc" "src/model/CMakeFiles/stormodel.dir/disk_model.cc.o" "gcc" "src/model/CMakeFiles/stormodel.dir/disk_model.cc.o.d"
+  "/root/repo/src/model/enums.cc" "src/model/CMakeFiles/stormodel.dir/enums.cc.o" "gcc" "src/model/CMakeFiles/stormodel.dir/enums.cc.o.d"
+  "/root/repo/src/model/fleet.cc" "src/model/CMakeFiles/stormodel.dir/fleet.cc.o" "gcc" "src/model/CMakeFiles/stormodel.dir/fleet.cc.o.d"
+  "/root/repo/src/model/fleet_config.cc" "src/model/CMakeFiles/stormodel.dir/fleet_config.cc.o" "gcc" "src/model/CMakeFiles/stormodel.dir/fleet_config.cc.o.d"
+  "/root/repo/src/model/shelf_model.cc" "src/model/CMakeFiles/stormodel.dir/shelf_model.cc.o" "gcc" "src/model/CMakeFiles/stormodel.dir/shelf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/storstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

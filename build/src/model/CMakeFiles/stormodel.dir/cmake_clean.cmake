@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormodel.dir/disk_model.cc.o"
+  "CMakeFiles/stormodel.dir/disk_model.cc.o.d"
+  "CMakeFiles/stormodel.dir/enums.cc.o"
+  "CMakeFiles/stormodel.dir/enums.cc.o.d"
+  "CMakeFiles/stormodel.dir/fleet.cc.o"
+  "CMakeFiles/stormodel.dir/fleet.cc.o.d"
+  "CMakeFiles/stormodel.dir/fleet_config.cc.o"
+  "CMakeFiles/stormodel.dir/fleet_config.cc.o.d"
+  "CMakeFiles/stormodel.dir/shelf_model.cc.o"
+  "CMakeFiles/stormodel.dir/shelf_model.cc.o.d"
+  "libstormodel.a"
+  "libstormodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

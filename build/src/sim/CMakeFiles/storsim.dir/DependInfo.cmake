@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/log_bridge.cc" "src/sim/CMakeFiles/storsim.dir/log_bridge.cc.o" "gcc" "src/sim/CMakeFiles/storsim.dir/log_bridge.cc.o.d"
+  "/root/repo/src/sim/precursors.cc" "src/sim/CMakeFiles/storsim.dir/precursors.cc.o" "gcc" "src/sim/CMakeFiles/storsim.dir/precursors.cc.o.d"
+  "/root/repo/src/sim/raid_recovery.cc" "src/sim/CMakeFiles/storsim.dir/raid_recovery.cc.o" "gcc" "src/sim/CMakeFiles/storsim.dir/raid_recovery.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/storsim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/storsim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/storsim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/storsim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/windows.cc" "src/sim/CMakeFiles/storsim.dir/windows.cc.o" "gcc" "src/sim/CMakeFiles/storsim.dir/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/stormodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/storlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/storstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

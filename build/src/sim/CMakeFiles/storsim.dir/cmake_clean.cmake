@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storsim.dir/log_bridge.cc.o"
+  "CMakeFiles/storsim.dir/log_bridge.cc.o.d"
+  "CMakeFiles/storsim.dir/precursors.cc.o"
+  "CMakeFiles/storsim.dir/precursors.cc.o.d"
+  "CMakeFiles/storsim.dir/raid_recovery.cc.o"
+  "CMakeFiles/storsim.dir/raid_recovery.cc.o.d"
+  "CMakeFiles/storsim.dir/scenario.cc.o"
+  "CMakeFiles/storsim.dir/scenario.cc.o.d"
+  "CMakeFiles/storsim.dir/simulator.cc.o"
+  "CMakeFiles/storsim.dir/simulator.cc.o.d"
+  "CMakeFiles/storsim.dir/windows.cc.o"
+  "CMakeFiles/storsim.dir/windows.cc.o.d"
+  "libstorsim.a"
+  "libstorsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

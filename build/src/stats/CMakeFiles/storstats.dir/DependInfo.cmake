@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/storstats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/storstats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/storstats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/fitting.cc" "src/stats/CMakeFiles/storstats.dir/fitting.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/fitting.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/stats/CMakeFiles/storstats.dir/hypothesis.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/hypothesis.cc.o.d"
+  "/root/repo/src/stats/intervals.cc" "src/stats/CMakeFiles/storstats.dir/intervals.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/intervals.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/stats/CMakeFiles/storstats.dir/special_functions.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/special_functions.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/storstats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/survival.cc" "src/stats/CMakeFiles/storstats.dir/survival.cc.o" "gcc" "src/stats/CMakeFiles/storstats.dir/survival.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storstats.dir/bootstrap.cc.o"
+  "CMakeFiles/storstats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/storstats.dir/distributions.cc.o"
+  "CMakeFiles/storstats.dir/distributions.cc.o.d"
+  "CMakeFiles/storstats.dir/ecdf.cc.o"
+  "CMakeFiles/storstats.dir/ecdf.cc.o.d"
+  "CMakeFiles/storstats.dir/fitting.cc.o"
+  "CMakeFiles/storstats.dir/fitting.cc.o.d"
+  "CMakeFiles/storstats.dir/hypothesis.cc.o"
+  "CMakeFiles/storstats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/storstats.dir/intervals.cc.o"
+  "CMakeFiles/storstats.dir/intervals.cc.o.d"
+  "CMakeFiles/storstats.dir/special_functions.cc.o"
+  "CMakeFiles/storstats.dir/special_functions.cc.o.d"
+  "CMakeFiles/storstats.dir/summary.cc.o"
+  "CMakeFiles/storstats.dir/summary.cc.o.d"
+  "CMakeFiles/storstats.dir/survival.cc.o"
+  "CMakeFiles/storstats.dir/survival.cc.o.d"
+  "libstorstats.a"
+  "libstorstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afr_test.dir/core/afr_test.cc.o"
+  "CMakeFiles/afr_test.dir/core/afr_test.cc.o.d"
+  "afr_test"
+  "afr_test.pdb"
+  "afr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

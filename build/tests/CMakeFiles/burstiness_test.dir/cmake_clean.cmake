@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstiness_test.dir/core/burstiness_test.cc.o"
+  "CMakeFiles/burstiness_test.dir/core/burstiness_test.cc.o.d"
+  "burstiness_test"
+  "burstiness_test.pdb"
+  "burstiness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstiness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_model_test.dir/model/disk_model_test.cc.o"
+  "CMakeFiles/disk_model_test.dir/model/disk_model_test.cc.o.d"
+  "disk_model_test"
+  "disk_model_test.pdb"
+  "disk_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_fit_test.dir/core/distribution_fit_test.cc.o"
+  "CMakeFiles/distribution_fit_test.dir/core/distribution_fit_test.cc.o.d"
+  "distribution_fit_test"
+  "distribution_fit_test.pdb"
+  "distribution_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emitter_parser_test.dir/log/emitter_parser_test.cc.o"
+  "CMakeFiles/emitter_parser_test.dir/log/emitter_parser_test.cc.o.d"
+  "emitter_parser_test"
+  "emitter_parser_test.pdb"
+  "emitter_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emitter_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enums_test.dir/model/enums_test.cc.o"
+  "CMakeFiles/enums_test.dir/model/enums_test.cc.o.d"
+  "enums_test"
+  "enums_test.pdb"
+  "enums_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enums_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

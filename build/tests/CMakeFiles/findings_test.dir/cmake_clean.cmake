@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/findings_test.dir/integration/findings_test.cc.o"
+  "CMakeFiles/findings_test.dir/integration/findings_test.cc.o.d"
+  "findings_test"
+  "findings_test.pdb"
+  "findings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/findings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_config_test.dir/model/fleet_config_test.cc.o"
+  "CMakeFiles/fleet_config_test.dir/model/fleet_config_test.cc.o.d"
+  "fleet_config_test"
+  "fleet_config_test.pdb"
+  "fleet_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

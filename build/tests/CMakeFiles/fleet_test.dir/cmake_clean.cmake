@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_test.dir/model/fleet_test.cc.o"
+  "CMakeFiles/fleet_test.dir/model/fleet_test.cc.o.d"
+  "fleet_test"
+  "fleet_test.pdb"
+  "fleet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

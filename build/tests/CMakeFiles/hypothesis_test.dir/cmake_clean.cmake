@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypothesis_test.dir/stats/hypothesis_test.cc.o"
+  "CMakeFiles/hypothesis_test.dir/stats/hypothesis_test.cc.o.d"
+  "hypothesis_test"
+  "hypothesis_test.pdb"
+  "hypothesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypothesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

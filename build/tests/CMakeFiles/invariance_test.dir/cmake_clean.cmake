@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariance_test.dir/integration/invariance_test.cc.o"
+  "CMakeFiles/invariance_test.dir/integration/invariance_test.cc.o.d"
+  "invariance_test"
+  "invariance_test.pdb"
+  "invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ks_test_test.dir/stats/ks_test_test.cc.o"
+  "CMakeFiles/ks_test_test.dir/stats/ks_test_test.cc.o.d"
+  "ks_test_test"
+  "ks_test_test.pdb"
+  "ks_test_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ks_test_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

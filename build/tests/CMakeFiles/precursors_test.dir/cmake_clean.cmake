@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precursors_test.dir/sim/precursors_test.cc.o"
+  "CMakeFiles/precursors_test.dir/sim/precursors_test.cc.o.d"
+  "precursors_test"
+  "precursors_test.pdb"
+  "precursors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precursors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

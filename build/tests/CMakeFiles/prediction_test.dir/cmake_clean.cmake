@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_test.dir/core/prediction_test.cc.o"
+  "CMakeFiles/prediction_test.dir/core/prediction_test.cc.o.d"
+  "prediction_test"
+  "prediction_test.pdb"
+  "prediction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_model_test.dir/core/raid_model_test.cc.o"
+  "CMakeFiles/raid_model_test.dir/core/raid_model_test.cc.o.d"
+  "raid_model_test"
+  "raid_model_test.pdb"
+  "raid_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_recovery_test.dir/sim/raid_recovery_test.cc.o"
+  "CMakeFiles/raid_recovery_test.dir/sim/raid_recovery_test.cc.o.d"
+  "raid_recovery_test"
+  "raid_recovery_test.pdb"
+  "raid_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_test.dir/log/record_test.cc.o"
+  "CMakeFiles/record_test.dir/log/record_test.cc.o.d"
+  "record_test"
+  "record_test.pdb"
+  "record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_test.dir/sim/scenario_test.cc.o"
+  "CMakeFiles/scenario_test.dir/sim/scenario_test.cc.o.d"
+  "scenario_test"
+  "scenario_test.pdb"
+  "scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

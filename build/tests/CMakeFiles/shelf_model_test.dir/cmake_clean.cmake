@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelf_model_test.dir/model/shelf_model_test.cc.o"
+  "CMakeFiles/shelf_model_test.dir/model/shelf_model_test.cc.o.d"
+  "shelf_model_test"
+  "shelf_model_test.pdb"
+  "shelf_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

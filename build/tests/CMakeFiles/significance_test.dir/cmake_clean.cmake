@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/significance_test.dir/core/significance_test.cc.o"
+  "CMakeFiles/significance_test.dir/core/significance_test.cc.o.d"
+  "significance_test"
+  "significance_test.pdb"
+  "significance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/significance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

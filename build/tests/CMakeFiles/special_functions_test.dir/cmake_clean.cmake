@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_functions_test.dir/stats/special_functions_test.cc.o"
+  "CMakeFiles/special_functions_test.dir/stats/special_functions_test.cc.o.d"
+  "special_functions_test"
+  "special_functions_test.pdb"
+  "special_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/summary_test.cc" "tests/CMakeFiles/summary_test.dir/stats/summary_test.cc.o" "gcc" "tests/CMakeFiles/summary_test.dir/stats/summary_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/storanalysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/storsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/storlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/stormodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/storstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

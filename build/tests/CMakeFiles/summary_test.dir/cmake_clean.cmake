@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_test.dir/stats/summary_test.cc.o"
+  "CMakeFiles/summary_test.dir/stats/summary_test.cc.o.d"
+  "summary_test"
+  "summary_test.pdb"
+  "summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survival_test.dir/stats/survival_test.cc.o"
+  "CMakeFiles/survival_test.dir/stats/survival_test.cc.o.d"
+  "survival_test"
+  "survival_test.pdb"
+  "survival_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windows_test.dir/sim/windows_test.cc.o"
+  "CMakeFiles/windows_test.dir/sim/windows_test.cc.o.d"
+  "windows_test"
+  "windows_test.pdb"
+  "windows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

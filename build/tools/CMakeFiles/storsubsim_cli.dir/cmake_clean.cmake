@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storsubsim_cli.dir/storsubsim_cli.cc.o"
+  "CMakeFiles/storsubsim_cli.dir/storsubsim_cli.cc.o.d"
+  "storsubsim"
+  "storsubsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storsubsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
