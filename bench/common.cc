@@ -1,11 +1,16 @@
 #include "common.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
 
 namespace storsubsim::bench {
 
@@ -22,24 +27,43 @@ Options parse_options(int& argc, char** argv) {
       options.scale = std::stod(std::string(arg.substr(8)));
     } else if (arg.starts_with("--seed=")) {
       options.seed = std::stoull(std::string(arg.substr(7)));
+    } else if (arg.starts_with("--threads=")) {
+      options.threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
     } else {
       argv[out++] = argv[i];  // leave for google-benchmark
     }
   }
   argc = out;
+  util::set_thread_count(options.threads);
   return options;
 }
 
 const core::SimulationDataset& standard_dataset(const Options& options) {
-  static std::map<std::pair<double, std::uint64_t>,
-                  std::unique_ptr<core::SimulationDataset>>
-      cache;
-  auto& slot = cache[{options.scale, options.seed}];
-  if (!slot) {
-    slot = std::make_unique<core::SimulationDataset>(core::simulate_and_analyze(
-        model::standard_fleet_config(options.scale, options.seed)));
+  using Key = std::pair<double, std::uint64_t>;
+  struct Entry {
+    Key key;
+    std::unique_ptr<core::SimulationDataset> value;
+  };
+  // LRU of at most 2 datasets (most-recently-used last): a seed or scale
+  // sweep touches many keys but only ever compares neighbors.
+  static std::mutex mutex;
+  static std::vector<Entry> cache;
+  constexpr std::size_t kMaxEntries = 2;
+
+  const Key key{options.scale, options.seed};
+  std::lock_guard<std::mutex> lock(mutex);
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i].key == key) {
+      std::rotate(cache.begin() + static_cast<std::ptrdiff_t>(i),
+                  cache.begin() + static_cast<std::ptrdiff_t>(i) + 1, cache.end());
+      return *cache.back().value;
+    }
   }
-  return *slot;
+  auto dataset = std::make_unique<core::SimulationDataset>(core::simulate_and_analyze(
+      model::standard_fleet_config(options.scale, options.seed)));
+  if (cache.size() >= kMaxEntries) cache.erase(cache.begin());
+  cache.push_back(Entry{key, std::move(dataset)});
+  return *cache.back().value;
 }
 
 void print_banner(std::ostream& out, const std::string& exhibit, const Options& options,

@@ -9,8 +9,12 @@
 // Flags (ours are consumed before google-benchmark sees the rest):
 //   --report-only          skip the timing benchmarks
 //   --scale=<float>        fleet scale for the report (default 1.0 = the
-//                          paper's full ~39k-system fleet; ~6 s per run)
+//                          paper's full ~39k-system fleet)
 //   --seed=<int>           simulation seed
+//   --threads=<int>        worker threads for the simulator / log pipeline /
+//                          bootstrap (default: STORSIM_THREADS env, else
+//                          hardware concurrency; results are identical for
+//                          any value — see docs/performance.md)
 //   --csv                  print tables as CSV instead of aligned text
 #pragma once
 
@@ -27,6 +31,7 @@ namespace storsubsim::bench {
 struct Options {
   double scale = 1.0;
   std::uint64_t seed = 20080226;
+  unsigned threads = 0;  ///< 0 = auto (env var / hardware concurrency)
   bool run_benchmarks = true;
   bool csv = false;
 };
@@ -34,9 +39,12 @@ struct Options {
 /// Parses and strips our flags from argv (google-benchmark parses the rest).
 Options parse_options(int& argc, char** argv);
 
-/// Simulates the standard fleet once per (scale, seed) and caches the result
-/// for the lifetime of the process; the text-log round-trip is included so
-/// the report measures the same end-to-end path the paper's analysis took.
+/// Simulates the standard fleet and caches the result keyed on
+/// (scale, seed); the text-log round-trip is included so the report measures
+/// the same end-to-end path the paper's analysis took. The cache is a small
+/// LRU (at most 2 datasets) so seed/scale sweeps don't grow memory without
+/// bound, and it is mutex-guarded for threaded benches. A returned reference
+/// stays valid until two further calls with *different* keys evict it.
 const core::SimulationDataset& standard_dataset(const Options& options);
 
 /// Prints the exhibit banner: what is being reproduced, fleet scale, and the

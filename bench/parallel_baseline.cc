@@ -1,0 +1,115 @@
+// Perf baseline for the fleet-parallel execution layer.
+//
+// Times `simulate_and_analyze` (simulate -> emit logs -> parse -> classify)
+// serially and with the configured worker count, verifies the two runs
+// produce identical datasets, and writes the measurements to
+// BENCH_parallel.json so later PRs can track the trajectory.
+//
+//   parallel_baseline [--threads=<n>] [--seed=<n>] [--out=<path>]
+//
+// Scales measured: 0.25 and 1.0 (the paper's full ~39k-system fleet).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "model/fleet_config.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace storsubsim;
+
+struct Measurement {
+  double scale;
+  unsigned threads_serial;
+  unsigned threads_parallel;
+  double serial_seconds;
+  double parallel_seconds;
+  std::size_t events;
+  bool identical;
+};
+
+double time_run(const model::FleetConfig& config, std::size_t* events_out) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto sd = core::simulate_and_analyze(config);
+  const auto stop = std::chrono::steady_clock::now();
+  if (events_out != nullptr) *events_out = sd.dataset.events().size();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+bool runs_identical(const model::FleetConfig& config, unsigned threads_a, unsigned threads_b) {
+  util::set_thread_count(threads_a);
+  const auto a = core::simulate_and_analyze(config);
+  util::set_thread_count(threads_b);
+  const auto b = core::simulate_and_analyze(config);
+  if (a.dataset.events().size() != b.dataset.events().size()) return false;
+  for (std::size_t i = 0; i < a.dataset.events().size(); ++i) {
+    if (!(a.dataset.events()[i] == b.dataset.events()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned threads = util::hardware_threads();
+  std::uint64_t seed = 20080226;
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--threads=")) {
+      threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
+    } else if (arg.starts_with("--seed=")) {
+      seed = std::stoull(std::string(arg.substr(7)));
+    } else if (arg.starts_with("--out=")) {
+      out_path = std::string(arg.substr(6));
+    }
+  }
+  if (threads == 0) threads = util::hardware_threads();
+
+  std::vector<Measurement> rows;
+  for (const double scale : {0.25, 1.0}) {
+    const auto config = model::standard_fleet_config(scale, seed);
+    Measurement m{};
+    m.scale = scale;
+    m.threads_serial = 1;
+    m.threads_parallel = threads;
+
+    util::set_thread_count(1);
+    m.serial_seconds = time_run(config, &m.events);
+    util::set_thread_count(threads);
+    m.parallel_seconds = time_run(config, nullptr);
+    m.identical = runs_identical(config, 1, threads);
+    rows.push_back(m);
+
+    std::cout << "scale " << scale << ": serial " << m.serial_seconds << " s, " << threads
+              << " threads " << m.parallel_seconds << " s (speedup "
+              << m.serial_seconds / m.parallel_seconds << "x), " << m.events << " events, "
+              << (m.identical ? "bit-identical" : "MISMATCH") << "\n";
+  }
+  util::set_thread_count(0);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"simulate_and_analyze\",\n  \"hardware_threads\": "
+      << util::hardware_threads() << ",\n  \"seed\": " << seed << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    out << "    {\"scale\": " << m.scale << ", \"events\": " << m.events
+        << ", \"serial_seconds\": " << m.serial_seconds
+        << ", \"threads\": " << m.threads_parallel
+        << ", \"parallel_seconds\": " << m.parallel_seconds
+        << ", \"speedup\": " << m.serial_seconds / m.parallel_seconds
+        << ", \"bit_identical\": " << (m.identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  bool all_identical = true;
+  for (const Measurement& m : rows) all_identical = all_identical && m.identical;
+  return all_identical ? 0 : 1;
+}

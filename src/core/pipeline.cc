@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
@@ -7,38 +8,109 @@
 #include "log/classifier.h"
 #include "log/parser.h"
 #include "sim/log_bridge.h"
+#include "util/parallel.h"
 
 namespace storsubsim::core {
+
+namespace {
+
+/// One shard's emit -> parse -> classify round-trip. The emitter, parser and
+/// classifier are stateless across records except for the classifier's
+/// (disk, type) de-duplication window — and a disk lives in exactly one
+/// system, so sharding by system keeps every dedup decision within a shard.
+struct ShardOutput {
+  std::vector<log::ClassifiedFailure> failures;
+  PipelineStats stats;
+};
+
+ShardOutput roundtrip_shard(const model::Fleet& fleet,
+                            std::span<const sim::SimFailure> failures) {
+  ShardOutput out;
+  std::stringstream log_text;
+  out.stats.log_lines_written = sim::write_failure_logs(log_text, fleet, failures);
+
+  std::vector<log::LogRecord> records;
+  const log::ParseStats parse_stats = log::parse_stream(log_text, records);
+  out.stats.log_lines_parsed = parse_stats.lines_parsed;
+
+  log::ClassifierStats classifier_stats;
+  out.failures = log::classify(records, log::ClassifierOptions{}, &classifier_stats);
+  out.stats.raid_records = classifier_stats.raid_records;
+  out.stats.failures_classified = out.failures.size();
+  return out;
+}
+
+}  // namespace
 
 Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result,
                          PipelineStats* stats) {
   PipelineStats local;
 
-  // 1. Emit the failure logs and the config snapshot as text.
-  std::stringstream log_text;
-  local.log_lines_written = sim::write_failure_logs(log_text, fleet, result.failures);
+  // The config snapshot is one global artifact; round-trip it serially.
   std::stringstream snapshot_text;
   log::write_snapshot(snapshot_text, fleet);
-
-  // 2. Parse them back.
-  std::vector<log::LogRecord> records;
-  const log::ParseStats parse_stats = log::parse_stream(log_text, records);
-  local.log_lines_parsed = parse_stats.lines_parsed;
-
   auto snapshot = log::parse_snapshot(snapshot_text);
   if (!snapshot.ok()) {
     throw std::runtime_error("pipeline: snapshot round-trip failed: " + snapshot.error);
   }
 
-  // 3. Classify RAID-layer records into failures and join.
-  log::ClassifierStats classifier_stats;
-  auto failures = log::classify(records, log::ClassifierOptions{}, &classifier_stats);
-  local.raid_records = classifier_stats.raid_records;
-  local.failures_classified = failures.size();
+  const std::size_t n_systems = fleet.systems().size();
+  std::size_t shards = std::min<std::size_t>(util::thread_count(),
+                                             n_systems == 0 ? 1 : n_systems);
+  if (result.failures.size() < 2048) shards = 1;  // not worth the fan-out
+
+  std::vector<log::ClassifiedFailure> classified;
+  if (shards <= 1) {
+    ShardOutput out = roundtrip_shard(fleet, result.failures);
+    classified = std::move(out.failures);
+    local = out.stats;
+  } else {
+    // Partition failures by contiguous system ranges (shard s owns systems
+    // [s*n/S, (s+1)*n/S)), preserving detection order within each bucket.
+    std::vector<std::uint32_t> shard_of_system(n_systems);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t begin = n_systems * s / shards;
+      const std::size_t end = n_systems * (s + 1) / shards;
+      for (std::size_t sys = begin; sys < end; ++sys) {
+        shard_of_system[sys] = static_cast<std::uint32_t>(s);
+      }
+    }
+    std::vector<std::vector<sim::SimFailure>> buckets(shards);
+    for (auto& b : buckets) b.reserve(result.failures.size() / shards + 1);
+    for (const auto& f : result.failures) {
+      buckets[shard_of_system[f.system.value()]].push_back(f);
+    }
+
+    std::vector<ShardOutput> outputs(shards);
+    util::parallel_for(shards, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        outputs[s] = roundtrip_shard(fleet, buckets[s]);
+      }
+    });
+
+    std::size_t total = 0;
+    for (const auto& out : outputs) total += out.failures.size();
+    classified.reserve(total);
+    for (auto& out : outputs) {
+      classified.insert(classified.end(), out.failures.begin(), out.failures.end());
+      local.log_lines_written += out.stats.log_lines_written;
+      local.log_lines_parsed += out.stats.log_lines_parsed;
+      local.raid_records += out.stats.raid_records;
+      local.failures_classified += out.stats.failures_classified;
+    }
+    // Restore the classifier's global output order (time, disk, type) so the
+    // sharded pipeline is bit-identical to the serial one.
+    std::sort(classified.begin(), classified.end(),
+              [](const log::ClassifiedFailure& a, const log::ClassifiedFailure& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.disk != b.disk) return a.disk < b.disk;
+                return static_cast<int>(a.type) < static_cast<int>(b.type);
+              });
+  }
 
   if (stats != nullptr) *stats = local;
   return Dataset(std::make_shared<log::Inventory>(std::move(snapshot.inventory)),
-                 std::move(failures));
+                 std::move(classified));
 }
 
 Dataset dataset_in_memory(const model::Fleet& fleet, const sim::SimResult& result) {

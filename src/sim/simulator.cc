@@ -1,12 +1,15 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
 #include "sim/windows.h"
 #include "stats/distributions.h"
+#include "util/parallel.h"
 
 namespace storsubsim::sim {
 
@@ -22,19 +25,68 @@ using stats::Rng;
 
 constexpr double kPctPerYearToPerSecond = 0.01 / model::kSecondsPerYear;
 
+// Replacement disks created during the parallel shelf phase carry a
+// provisional id (high bit set, low bits = index into the shelf's
+// replacement log) until the serial replay assigns the real fleet-wide id.
+constexpr std::uint32_t kProvisionalBit = 0x80000000u;
+
 /// Samples a LogNormal with the given arithmetic mean and log-sigma.
 double sample_lognormal_mean(double mean, double sigma, Rng& rng) {
   const stats::LogNormal d(std::log(mean) - 0.5 * sigma * sigma, sigma);
   return d.sample(rng);
 }
 
+void accumulate(SimCounters& into, const SimCounters& from) {
+  for (std::size_t i = 0; i < into.events_by_type.size(); ++i) {
+    into.events_by_type[i] += from.events_by_type[i];
+  }
+  into.replacements += from.replacements;
+  into.triggered_disk_failures += from.triggered_disk_failures;
+  into.shelf_faults += from.shelf_faults;
+  into.path_faults += from.path_faults;
+  into.masked_path_faults += from.masked_path_faults;
+}
+
 }  // namespace
 
+// Per-shelf simulation state, including a shelf-local occupancy overlay so
+// the shelf phase never mutates the shared Fleet. Each slot keeps its full
+// tenure chain: the initial disk followed by provisional replacement disks.
 struct Simulator::ShelfContext {
+  struct SlotEntry {
+    DiskId id;
+    double install_time = 0.0;
+    double remove_time = std::numeric_limits<double>::infinity();
+  };
+
   Rng rng;
   double badness = 1.0;
   std::vector<Window> env_windows;
   std::vector<std::uint32_t> occupied_slots;  // slot indices with a disk
+  std::array<std::vector<SlotEntry>, model::kShelfSlots> chains;
+  std::vector<PendingReplacement>* replacements = nullptr;
+
+  const SlotEntry& current(std::uint32_t slot) const { return chains[slot].back(); }
+
+  /// Shelf-local mirror of Fleet::occupant_at.
+  DiskId occupant_at(std::uint32_t slot, double t) const {
+    const auto& chain = chains[slot];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (t >= it->install_time) return t < it->remove_time ? it->id : DiskId{};
+    }
+    return DiskId{};
+  }
+
+  /// Shelf-local mirror of Fleet::replace_disk: retires the slot's current
+  /// occupant and installs a provisional fresh disk.
+  DiskId replace(std::uint32_t slot, double remove_time, double install_time) {
+    chains[slot].back().remove_time = remove_time;
+    const DiskId id(kProvisionalBit | static_cast<std::uint32_t>(replacements->size()));
+    replacements->push_back(PendingReplacement{remove_time, install_time, slot});
+    chains[slot].push_back(SlotEntry{id, install_time,
+                                     std::numeric_limits<double>::infinity()});
+    return id;
+  }
 };
 
 Simulator::Simulator(model::Fleet& fleet, SimParams params)
@@ -93,8 +145,7 @@ void Simulator::simulate_disk_failures(std::uint32_t shelf_index, ShelfContext& 
   };
 
   for (const std::uint32_t slot : ctx.occupied_slots) {
-    const DiskRecord& disk = fleet_->disk(shelf.slots[slot]);
-    propose_next(slot, disk.install_time, 0);
+    propose_next(slot, ctx.current(slot).install_time, 0);
   }
 
   while (!queue.empty()) {
@@ -102,15 +153,15 @@ void Simulator::simulate_disk_failures(std::uint32_t shelf_index, ShelfContext& 
     queue.pop();
     if (!ev.triggered && ev.generation != slot_generation[ev.slot]) continue;  // stale chain
 
-    const SlotRef ref{shelf.id, ev.slot};
-    const DiskId occupant_id = fleet_->disk_in(ref);
-    const DiskRecord& occupant = fleet_->disk(occupant_id);
+    const ShelfContext::SlotEntry occupant = ctx.current(ev.slot);
+    const bool occupant_installed =
+        ev.time >= occupant.install_time && ev.time < occupant.remove_time;
 
     bool fails;
     if (ev.triggered) {
       // Triggered failures hit whichever disk is present; during a repair
       // gap the stress dissipates harmlessly.
-      if (!occupant.installed_at(ev.time)) continue;
+      if (!occupant_installed) continue;
       fails = true;
       ++result.counters.triggered_disk_failures;
     } else {
@@ -131,14 +182,14 @@ void Simulator::simulate_disk_failures(std::uint32_t shelf_index, ShelfContext& 
     if (fails) {
       const double detect = detection_time(ev.time, rng);
       result.failures.push_back(
-          SimFailure{ev.time, detect, occupant_id, shelf.system, FailureType::kDisk});
+          SimFailure{ev.time, detect, occupant.id, shelf.system, FailureType::kDisk});
       ++result.counters.events_by_type[model::index_of(FailureType::kDisk)];
 
       // Replacement: the admin pulls the disk at detection; a fresh disk
       // arrives after the repair delay.
       const double install = detect + sample_lognormal_mean(params_.repair_delay_mean_seconds,
                                                             params_.repair_delay_sigma_log, rng);
-      fleet_->replace_disk(occupant_id, detect, install);
+      ctx.replace(ev.slot, detect, install);
       ++result.counters.replacements;
       const std::uint32_t gen = ++slot_generation[ev.slot];
       propose_next(ev.slot, install, gen);
@@ -185,7 +236,7 @@ void Simulator::simulate_performance_failures(std::uint32_t shelf_index, ShelfCo
     t = *next;
     const std::uint32_t slot = ctx.occupied_slots[static_cast<std::size_t>(
         rng.below(ctx.occupied_slots.size()))];
-    const DiskId victim = fleet_->occupant_at(SlotRef{shelf.id, slot}, t);
+    const DiskId victim = ctx.occupant_at(slot, t);
     if (!victim.valid()) continue;  // repair gap
     result.failures.push_back(SimFailure{t, detection_time(t, rng), victim, shelf.system,
                                          FailureType::kPerformance});
@@ -206,7 +257,7 @@ void Simulator::simulate_performance_failures(std::uint32_t shelf_index, ShelfCo
         const double when =
             t + sample_lognormal_mean(inc.spread_mean_seconds, inc.spread_sigma_log, rng);
         if (when >= horizon) continue;
-        const DiskId victim = fleet_->occupant_at(SlotRef{shelf.id, slot}, when);
+        const DiskId victim = ctx.occupant_at(slot, when);
         if (!victim.valid()) continue;
         result.failures.push_back(SimFailure{when, detection_time(when, rng), victim,
                                              shelf.system, FailureType::kPerformance});
@@ -241,7 +292,7 @@ void Simulator::simulate_shelf_interconnect_faults(std::uint32_t shelf_index, Sh
     if (t >= horizon) break;
     ++result.counters.shelf_faults;
     auto hit = [&](std::uint32_t slot) {
-      const DiskId victim = fleet_->occupant_at(SlotRef{shelf.id, slot}, t);
+      const DiskId victim = ctx.occupant_at(slot, t);
       if (!victim.valid()) return;
       result.failures.push_back(SimFailure{t, detection_time(t, rng), victim, shelf.system,
                                            FailureType::kPhysicalInterconnect});
@@ -255,6 +306,32 @@ void Simulator::simulate_shelf_interconnect_faults(std::uint32_t shelf_index, Sh
       if (rng.bernoulli(q)) hit(slot);
     }
   }
+}
+
+void Simulator::simulate_shelf(std::uint32_t shelf_index, ShelfOutcome& out) {
+  const Shelf& shelf = fleet_->shelf(model::ShelfId(shelf_index));
+  const stats::Gamma badness_dist(params_.shelf_badness_shape,
+                                  1.0 / params_.shelf_badness_shape);
+
+  ShelfContext ctx;
+  ctx.rng = root_.stream("shelf", shelf_index);
+  ctx.badness = badness_dist.sample(ctx.rng);
+  ctx.env_windows = generate_windows(params_.environment, fleet_->horizon_seconds(), ctx.rng);
+  ctx.occupied_slots.reserve(shelf.occupied_slots);
+  ctx.replacements = &out.replacements;
+  for (std::uint32_t s = 0; s < shelf.occupied_slots; ++s) {
+    ctx.occupied_slots.push_back(s);
+    ctx.chains[s].push_back(ShelfContext::SlotEntry{
+        shelf.slots[s], fleet_->disk(shelf.slots[s]).install_time,
+        std::numeric_limits<double>::infinity()});
+  }
+
+  // Order matters only for determinism, not correctness: disk failures
+  // first (they perform replacements), then the slot-assignment processes
+  // which look occupants up by time.
+  simulate_disk_failures(shelf_index, ctx, out.result);
+  simulate_performance_failures(shelf_index, ctx, out.result);
+  simulate_shelf_interconnect_faults(shelf_index, ctx, out.result);
 }
 
 void Simulator::simulate_system_processes(std::uint32_t system_index, SimResult& result) {
@@ -379,29 +456,57 @@ SimResult Simulator::run() {
   ran_ = true;
 
   SimResult result;
-  const auto n_shelves = fleet_->shelves().size();
-  const stats::Gamma badness_dist(params_.shelf_badness_shape,
-                                  1.0 / params_.shelf_badness_shape);
+  const std::size_t n_shelves = fleet_->shelves().size();
 
-  for (std::uint32_t shelf_index = 0; shelf_index < n_shelves; ++shelf_index) {
-    const Shelf& shelf = fleet_->shelf(model::ShelfId(shelf_index));
-    ShelfContext ctx{root_.stream("shelf", shelf_index), 1.0, {}, {}};
-    ctx.badness = badness_dist.sample(ctx.rng);
-    ctx.env_windows = generate_windows(params_.environment, fleet_->horizon_seconds(), ctx.rng);
-    ctx.occupied_slots.reserve(shelf.occupied_slots);
-    for (std::uint32_t s = 0; s < shelf.occupied_slots; ++s) ctx.occupied_slots.push_back(s);
+  // Phase 1 (parallel): every shelf simulates against its own occupancy
+  // overlay, drawing only from shelf-keyed RNG substreams. No shared state
+  // is written, so the per-shelf event sequences are identical for any
+  // thread count.
+  std::vector<ShelfOutcome> shelf_out(n_shelves);
+  util::parallel_for(n_shelves, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      simulate_shelf(static_cast<std::uint32_t>(i), shelf_out[i]);
+    }
+  });
 
-    // Order matters only for determinism, not correctness: disk failures
-    // first (they perform replacements), then the slot-assignment processes
-    // which look occupants up by time.
-    simulate_disk_failures(shelf_index, ctx, result);
-    simulate_performance_failures(shelf_index, ctx, result);
-    simulate_shelf_interconnect_faults(shelf_index, ctx, result);
+  // Phase 2 (serial): replay the recorded replacements against the fleet in
+  // shelf order — exactly the order the serial simulator performed them —
+  // so fleet-wide disk ids are reproduced bit-identically; then resolve the
+  // provisional ids in each shelf's failures and merge in shelf order.
+  for (std::size_t i = 0; i < n_shelves; ++i) {
+    ShelfOutcome& out = shelf_out[i];
+    std::vector<DiskId> real_ids(out.replacements.size());
+    for (std::size_t k = 0; k < out.replacements.size(); ++k) {
+      const PendingReplacement& r = out.replacements[k];
+      const DiskId failed = fleet_->disk_in(
+          SlotRef{model::ShelfId(static_cast<std::uint32_t>(i)), r.slot});
+      real_ids[k] = fleet_->replace_disk(failed, r.remove_time, r.install_time);
+    }
+    for (SimFailure& f : out.result.failures) {
+      if ((f.disk.value() & kProvisionalBit) != 0) {
+        f.disk = real_ids[f.disk.value() & ~kProvisionalBit];
+      }
+    }
+    result.failures.insert(result.failures.end(), out.result.failures.begin(),
+                           out.result.failures.end());
+    accumulate(result.counters, out.result.counters);
+    out = ShelfOutcome{};  // release per-shelf buffers eagerly
   }
 
-  for (std::uint32_t system_index = 0; system_index < fleet_->systems().size();
-       ++system_index) {
-    simulate_system_processes(system_index, result);
+  // Phase 3 (parallel): system-scope processes only read the fleet (the
+  // replacement chains are final by now) and write per-system buffers,
+  // merged in system order.
+  const std::size_t n_systems = fleet_->systems().size();
+  std::vector<SimResult> sys_out(n_systems);
+  util::parallel_for(n_systems, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      simulate_system_processes(static_cast<std::uint32_t>(i), sys_out[i]);
+    }
+  });
+  for (std::size_t i = 0; i < n_systems; ++i) {
+    result.failures.insert(result.failures.end(), sys_out[i].failures.begin(),
+                           sys_out[i].failures.end());
+    accumulate(result.counters, sys_out[i].counters);
   }
 
   std::sort(result.failures.begin(), result.failures.end(),

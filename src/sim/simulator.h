@@ -66,13 +66,34 @@ class Simulator {
   /// the simulator.
   Simulator(model::Fleet& fleet, SimParams params);
 
-  /// Runs the whole horizon. Deterministic for a given fleet config/seed and
-  /// params. Call at most once per Simulator instance.
+  /// Runs the whole horizon, fanning shelf- and system-scope processes out
+  /// across util::thread_count() workers. Deterministic for a given fleet
+  /// config/seed and params, and bit-identical for any thread count: every
+  /// shelf/system draws from its own named RNG substream, shelves simulate
+  /// against shelf-local occupancy overlays, and disk replacements are
+  /// replayed against the fleet serially in shelf order. Call at most once
+  /// per Simulator instance.
   SimResult run();
 
  private:
   struct ShelfContext;
 
+  /// A disk replacement recorded during the parallel shelf phase, applied
+  /// to the fleet later by the serial replay.
+  struct PendingReplacement {
+    double remove_time = 0.0;
+    double install_time = 0.0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Everything one shelf's simulation produces: its failures (replacement
+  /// disks identified by provisional ids) and its replacement log.
+  struct ShelfOutcome {
+    SimResult result;
+    std::vector<PendingReplacement> replacements;
+  };
+
+  void simulate_shelf(std::uint32_t shelf_index, ShelfOutcome& out);
   void simulate_disk_failures(std::uint32_t shelf_index, ShelfContext& ctx, SimResult& result);
   void simulate_performance_failures(std::uint32_t shelf_index, ShelfContext& ctx,
                                      SimResult& result);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace storsubsim::stats {
 
 std::vector<double> bootstrap_distribution(
@@ -11,15 +13,24 @@ std::vector<double> bootstrap_distribution(
     const std::function<double(std::span<const double>)>& statistic, std::size_t replicates,
     Rng& rng) {
   if (sample.empty()) throw std::invalid_argument("bootstrap: empty sample");
-  std::vector<double> resample(sample.size());
-  std::vector<double> stats;
-  stats.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (auto& x : resample) {
-      x = sample[static_cast<std::size_t>(rng.below(sample.size()))];
+
+  // Fork once so successive calls on the same rng see fresh randomness, then
+  // key every replicate off the fork with its own named substream: replicate
+  // r draws the same resample no matter how replicates are split across
+  // workers, making the distribution thread-count-invariant.
+  const Rng base = rng.fork(hash_label("bootstrap"));
+
+  std::vector<double> stats(replicates);
+  util::parallel_for(replicates, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> resample(sample.size());
+    for (std::size_t r = begin; r < end; ++r) {
+      Rng rep = base.stream("bootstrap-rep", r);
+      for (auto& x : resample) {
+        x = sample[static_cast<std::size_t>(rep.below(sample.size()))];
+      }
+      stats[r] = statistic(resample);
     }
-    stats.push_back(statistic(resample));
-  }
+  });
   std::sort(stats.begin(), stats.end());
   return stats;
 }

@@ -15,6 +15,11 @@ namespace storsubsim::stats {
 /// Draws `replicates` bootstrap resamples of `sample`, applies `statistic`
 /// to each, and returns the percentile CI plus the point estimate on the
 /// original sample.
+///
+/// Replicates are split across util::thread_count() workers; each replicate
+/// draws from its own substream of a fork of `rng`, so results are
+/// deterministic given `rng` and bit-identical for any thread count.
+/// `statistic` may be called concurrently and must be thread-safe.
 Interval bootstrap_ci(std::span<const double> sample,
                       const std::function<double(std::span<const double>)>& statistic,
                       double confidence, std::size_t replicates, Rng& rng);

@@ -7,6 +7,9 @@
 #include "core/pipeline.h"
 #include "model/fleet_config.h"
 #include "sim/scenario.h"
+#include "stats/bootstrap.h"
+#include "stats/summary.h"
+#include "util/parallel.h"
 
 namespace core = storsubsim::core;
 namespace model = storsubsim::model;
@@ -98,6 +101,57 @@ TEST_P(DualPathFraction, MoreDualPathsLowerInterconnectAfr) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Fractions, DualPathFraction, ::testing::Values(0.3, 0.6));
+
+// The fleet-parallel execution layer's contract: the full pipeline
+// (simulate -> emit logs -> parse -> classify) and bootstrap CIs are
+// bit-identical for any worker count. Exercised at two scales; the larger
+// one is big enough to engage the sharded log pipeline.
+class ThreadInvariance : public ::testing::TestWithParam<double> {
+ protected:
+  void TearDown() override { storsubsim::util::set_thread_count(0); }
+};
+
+TEST_P(ThreadInvariance, PipelineBitIdenticalAcrossThreadCounts) {
+  const auto config = model::standard_fleet_config(GetParam(), 11);
+  storsubsim::util::set_thread_count(1);
+  const auto serial = core::simulate_and_analyze(config);
+  storsubsim::util::set_thread_count(4);
+  const auto parallel = core::simulate_and_analyze(config);
+
+  ASSERT_EQ(serial.dataset.events().size(), parallel.dataset.events().size());
+  for (std::size_t i = 0; i < serial.dataset.events().size(); ++i) {
+    EXPECT_EQ(serial.dataset.events()[i], parallel.dataset.events()[i]) << "event " << i;
+  }
+  EXPECT_EQ(serial.counters.events_by_type, parallel.counters.events_by_type);
+  EXPECT_EQ(serial.counters.replacements, parallel.counters.replacements);
+  EXPECT_EQ(serial.pipeline.log_lines_written, parallel.pipeline.log_lines_written);
+  EXPECT_EQ(serial.pipeline.log_lines_parsed, parallel.pipeline.log_lines_parsed);
+  EXPECT_EQ(serial.pipeline.raid_records, parallel.pipeline.raid_records);
+  EXPECT_EQ(serial.pipeline.failures_classified, parallel.pipeline.failures_classified);
+}
+
+TEST_P(ThreadInvariance, BootstrapCiBitIdenticalAcrossThreadCounts) {
+  namespace stats = storsubsim::stats;
+  // Sample size scales with the parameter so both test points differ.
+  const std::size_t n = static_cast<std::size_t>(1000.0 * GetParam());
+  stats::Rng data_rng(13);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = data_rng.uniform(0.0, 10.0);
+  auto mean_stat = [](std::span<const double> s) { return stats::mean_of(s); };
+
+  storsubsim::util::set_thread_count(1);
+  stats::Rng r1(99);
+  const auto serial = stats::bootstrap_ci(xs, mean_stat, 0.95, 2000, r1);
+  storsubsim::util::set_thread_count(4);
+  stats::Rng r2(99);
+  const auto parallel = stats::bootstrap_ci(xs, mean_stat, 0.95, 2000, r2);
+
+  EXPECT_DOUBLE_EQ(serial.lower, parallel.lower);
+  EXPECT_DOUBLE_EQ(serial.upper, parallel.upper);
+  EXPECT_DOUBLE_EQ(serial.point, parallel.point);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ThreadInvariance, ::testing::Values(0.05, 0.2));
 
 TEST(CalibrationInvariant, WindowNormalizationPreservesMeanRates) {
   // Cranking the modulation multipliers up (with the built-in average-

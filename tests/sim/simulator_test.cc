@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/scenario.h"
+#include "util/parallel.h"
 
 namespace sim = storsubsim::sim;
 namespace model = storsubsim::model;
@@ -140,6 +141,48 @@ TEST(Simulator, DeterministicForSeedAndParams) {
     EXPECT_DOUBLE_EQ(a.result.failures[i].detect_time, b.result.failures[i].detect_time);
     EXPECT_EQ(a.result.failures[i].disk, b.result.failures[i].disk);
     EXPECT_EQ(a.result.failures[i].type, b.result.failures[i].type);
+  }
+}
+
+TEST(Simulator, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract: shelves/systems draw from named RNG
+  // substreams and replacements are replayed serially, so the parallel run
+  // reproduces the serial run exactly — failures, counters, and fleet-wide
+  // disk ids.
+  const auto config = sim::cohort_fleet(
+      plain_cohort(model::SystemClass::kMidRange, 'B', {'C', 2}, 300), 1.0, 38);
+  storsubsim::util::set_thread_count(1);
+  auto serial = sim::simulate_fleet(config, sim::SimParams::standard());
+  storsubsim::util::set_thread_count(4);
+  auto parallel = sim::simulate_fleet(config, sim::SimParams::standard());
+  storsubsim::util::set_thread_count(0);
+
+  ASSERT_EQ(serial.result.failures.size(), parallel.result.failures.size());
+  for (std::size_t i = 0; i < serial.result.failures.size(); ++i) {
+    const auto& a = serial.result.failures[i];
+    const auto& b = parallel.result.failures[i];
+    EXPECT_DOUBLE_EQ(a.occur_time, b.occur_time);
+    EXPECT_DOUBLE_EQ(a.detect_time, b.detect_time);
+    EXPECT_EQ(a.disk, b.disk);
+    EXPECT_EQ(a.system, b.system);
+    EXPECT_EQ(a.type, b.type);
+  }
+  EXPECT_EQ(serial.result.counters.events_by_type, parallel.result.counters.events_by_type);
+  EXPECT_EQ(serial.result.counters.replacements, parallel.result.counters.replacements);
+  EXPECT_EQ(serial.result.counters.triggered_disk_failures,
+            parallel.result.counters.triggered_disk_failures);
+  EXPECT_EQ(serial.result.counters.shelf_faults, parallel.result.counters.shelf_faults);
+  EXPECT_EQ(serial.result.counters.path_faults, parallel.result.counters.path_faults);
+  EXPECT_EQ(serial.result.counters.masked_path_faults,
+            parallel.result.counters.masked_path_faults);
+  // Replacement replay must assign identical fleet-wide disk ids.
+  ASSERT_EQ(serial.fleet.disks().size(), parallel.fleet.disks().size());
+  for (std::size_t i = 0; i < serial.fleet.disks().size(); ++i) {
+    EXPECT_EQ(serial.fleet.disks()[i].id, parallel.fleet.disks()[i].id);
+    EXPECT_DOUBLE_EQ(serial.fleet.disks()[i].install_time,
+                     parallel.fleet.disks()[i].install_time);
+    EXPECT_DOUBLE_EQ(serial.fleet.disks()[i].remove_time,
+                     parallel.fleet.disks()[i].remove_time);
   }
 }
 

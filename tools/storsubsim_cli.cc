@@ -35,6 +35,7 @@
 #include "sim/log_bridge.h"
 #include "sim/precursors.h"
 #include "sim/scenario.h"
+#include "util/parallel.h"
 
 using namespace storsubsim;
 
@@ -81,6 +82,7 @@ int usage() {
   std::cerr <<
       R"(usage:
   storsubsim simulate --logs FILE --snapshot FILE [--scale S] [--seed N] [--precursors]
+                      [--threads N]
   storsubsim analyze  --logs FILE --snapshot FILE
                       --report afr|burstiness|correlation|vulnerability|events
                       [--class CLASS] [--exclude-h] [--csv]
@@ -364,6 +366,10 @@ int cmd_predict(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  // 0 = auto (STORSIM_THREADS env var, else hardware concurrency). Results
+  // are identical for any thread count; see docs/performance.md.
+  util::set_thread_count(
+      static_cast<unsigned>(args.get_double("threads", 0.0)));
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "inspect") return cmd_inspect(args);
