@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <unordered_map>
 
 #include "stats/summary.h"
@@ -14,7 +15,10 @@ namespace {
 /// Returns: counts[scope][window_index]; only complete windows are counted.
 struct WindowCounts {
   std::size_t windows_observed = 0;
-  std::unordered_map<std::uint64_t, std::size_t> counts;  // (scope, window) -> n
+  // Ordered so downstream accumulation (dispersion_index sums doubles over
+  // this) walks windows in a canonical order — hash-table iteration order is
+  // an implementation detail the determinism contract must not depend on.
+  std::map<std::uint64_t, std::size_t> counts;  // (scope, window) -> n
   std::vector<std::size_t> histogram;                     // histogram of counts per window
 };
 
@@ -238,6 +242,8 @@ CrossTypeResult cross_type_correlation(const Dataset& dataset, Scope scope,
   result.baseline_rate_per_scope_second =
       scope_seconds > 0.0 ? static_cast<double>(response_count) / scope_seconds : 0.0;
 
+  // Only order-insensitive integer counters accumulate across scopes.
+  // storsim-lint: allow(unordered-iter) reason=per-scope integer tallies; no cross-scope FP accumulation or ordered output
   for (auto& [scope_id, triggers] : trigger_times) {
     std::sort(triggers.begin(), triggers.end());
     auto rit = response_times.find(scope_id);

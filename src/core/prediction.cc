@@ -31,6 +31,9 @@ PredictionOutcome evaluate_predictor(const Dataset& dataset,
 
   std::vector<double> leads;
 
+  // Per-disk loop only bumps integer counters and appends to `leads`, which
+  // is sorted before the median is taken — visit order cannot leak out.
+  // storsim-lint: allow(unordered-iter) reason=order-insensitive counters; leads re-sorted before use
   for (auto& [disk, times] : signals) {
     std::sort(times.begin(), times.end());
     auto fit = failures.find(disk);

@@ -1,8 +1,8 @@
 #include "sim/raid_recovery.h"
 
 #include <algorithm>
+#include <map>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 namespace storsubsim::sim {
@@ -51,7 +51,9 @@ RecoveryResult replay_raid_recovery(const model::Fleet& fleet, const SimResult& 
   // --- turn failures into member-unavailability intervals -------------------
   // result.failures is sorted by detection time, which is the order the
   // spare pool serves rebuilds.
-  std::unordered_map<std::uint32_t, std::vector<TaggedInterval>> per_group;
+  // Ordered: the sweep below accumulates floating-point hour totals across
+  // groups, so group visit order must be canonical, not a hash-table artifact.
+  std::map<std::uint32_t, std::vector<TaggedInterval>> per_group;
   for (const auto& f : result.failures) {
     const auto& disk = fleet.disk(f.disk);
     if (!disk.raid_group.valid()) continue;

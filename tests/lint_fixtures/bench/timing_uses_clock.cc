@@ -1,0 +1,16 @@
+// Fixture: wall-clock timing is legitimate in bench/ — the nondeterminism
+// rule is scoped to src/. Must produce zero findings.
+#include <chrono>
+#include <cstdio>
+
+namespace storsubsim::fixture {
+
+double wall_time_a_benchmark() {
+  const auto start = std::chrono::steady_clock::now();
+  double acc = 0.0;
+  for (int i = 0; i < 1000; ++i) acc += static_cast<double>(i);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() + acc;
+}
+
+}  // namespace storsubsim::fixture

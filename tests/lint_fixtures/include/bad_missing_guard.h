@@ -1,0 +1,8 @@
+// Fixture: header with neither #pragma once nor an include guard.
+#include <cstdint>
+
+namespace storsubsim::fixture {
+
+inline std::uint64_t double_inclusion_hazard(std::uint64_t x) { return x * 2u; }
+
+}  // namespace storsubsim::fixture

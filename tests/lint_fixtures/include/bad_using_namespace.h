@@ -1,0 +1,12 @@
+// Fixture: guarded header that still leaks a namespace into every includer.
+#pragma once
+
+#include <vector>
+
+using namespace std;  // header-hygiene
+
+namespace storsubsim::fixture {
+
+inline vector<int> leaky() { return {1, 2, 3}; }
+
+}  // namespace storsubsim::fixture

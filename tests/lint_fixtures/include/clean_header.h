@@ -1,0 +1,11 @@
+// Fixture: hygienic header — guarded, fully qualified names. Zero findings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace storsubsim::fixture {
+
+inline std::vector<std::uint32_t> tidy() { return {1u, 2u, 3u}; }
+
+}  // namespace storsubsim::fixture

@@ -1,0 +1,26 @@
+// Fixture: the same iteration shapes, justified with inline suppressions.
+// Must produce zero findings and record every annotation.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace storsubsim::fixture {
+
+std::size_t order_insensitive() {
+  std::unordered_map<std::uint32_t, std::size_t> tallies;
+  std::unordered_set<std::uint32_t> seen;
+  tallies[3] = 2;
+  seen.insert(9);
+
+  std::size_t total = 0;
+  // storsim-lint: allow(unordered-iter) reason=integer tallies commute; no ordered output
+  for (const auto& [key, n] : tallies) {
+    total += n + key;
+  }
+  for (const auto id : seen) {  // storsim-lint: allow(unordered-iter) reason=summing a set of unique ints
+    total += id;
+  }
+  return total;
+}
+
+}  // namespace storsubsim::fixture

@@ -1,0 +1,32 @@
+// Fixture: every nondeterminism source the rule must catch in src/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace storsubsim::fixture {
+
+double ambient_entropy() {
+  std::random_device rd;                                // nondeterminism
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // nondeterminism x2
+  const int roll = std::rand();                         // nondeterminism
+  const auto now = std::chrono::system_clock::now();    // nondeterminism
+  const auto tick = std::chrono::steady_clock::now();   // nondeterminism
+  const char* env = std::getenv("STORSIM_SECRET");      // nondeterminism
+  (void)now;
+  (void)tick;
+  (void)env;
+  return static_cast<double>(rd() + static_cast<unsigned>(roll));
+}
+
+// A member named `time` must NOT trip the wall-clock check.
+struct Event {
+  double time = 0.0;
+};
+double event_time(const Event& e) { return e.time; }
+
+// Mentions inside comments (rand(), std::random_device) and strings must not
+// trip it either:
+const char* kDoc = "call rand() and time(nullptr) for chaos";
+
+}  // namespace storsubsim::fixture

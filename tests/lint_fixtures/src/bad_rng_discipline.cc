@@ -1,0 +1,19 @@
+// Fixture: ad-hoc <random> engines and distributions outside stats/rng.h.
+#include <random>
+
+namespace storsubsim::fixture {
+
+double ad_hoc_randomness(unsigned seed) {
+  std::mt19937 engine(seed);                      // rng-discipline
+  std::mt19937_64 wide(seed);                     // rng-discipline
+  std::normal_distribution<double> gauss(0., 1.); // rng-discipline
+  std::uniform_int_distribution<int> die(1, 6);   // rng-discipline
+  std::seed_seq seq{1, 2, 3};                     // rng-discipline
+  return gauss(engine) + static_cast<double>(die(wide));
+}
+
+// Project identifiers that merely end in _distribution are NOT std types and
+// must not be flagged:
+double bootstrap_distribution(double x) { return x; }
+
+}  // namespace storsubsim::fixture

@@ -1,0 +1,21 @@
+// Fixture: malformed suppression annotations are findings themselves — an
+// unjustified allow() must never silently disable a rule.
+#include <cstdint>
+#include <unordered_map>
+
+namespace storsubsim::fixture {
+
+std::size_t unjustified() {
+  std::unordered_map<std::uint32_t, std::size_t> tallies;
+  tallies[1] = 1;
+  std::size_t total = 0;
+  // storsim-lint: allow(unordered-iter)
+  for (const auto& [key, n] : tallies) {  // reasonless allow above: still flagged
+    total += key + n;
+  }
+  // storsim-lint: allow(make-it-fast) reason=no such rule
+  total += tallies.size();
+  return total;
+}
+
+}  // namespace storsubsim::fixture

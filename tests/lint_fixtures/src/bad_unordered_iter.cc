@@ -1,0 +1,37 @@
+// Fixture: iteration-order leaks over hash containers, all shapes flagged.
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace storsubsim::fixture {
+
+using GroupIndex = std::unordered_map<std::uint32_t, std::vector<double>>;
+
+double order_leaks() {
+  std::unordered_map<std::uint32_t, double> per_shelf;
+  std::unordered_set<std::uint32_t> failed_disks;
+  GroupIndex per_group;  // declared via an unordered alias
+
+  per_shelf[1] = 0.5;
+  failed_disks.insert(7);
+  per_group[2].push_back(1.0);
+
+  double total = 0.0;
+  for (const auto& [shelf, afr] : per_shelf) {  // leak: range-for over map
+    total += afr + static_cast<double>(shelf);
+  }
+  for (const auto disk : failed_disks) {  // leak: range-for over set
+    total += static_cast<double>(disk);
+  }
+  for (auto& [group, samples] : per_group) {  // leak: range-for via alias
+    total += static_cast<double>(group) + samples.size();
+  }
+  for (auto it = per_shelf.begin(); it != per_shelf.end(); ++it) {  // leak: iterator loop
+    total += it->second;
+  }
+  return std::accumulate(failed_disks.cbegin(), failed_disks.cend(), total);  // leak: algorithm
+}
+
+}  // namespace storsubsim::fixture

@@ -1,0 +1,27 @@
+// Fixture: the blessed idiom — keyed Rng substreams and simulated time.
+// Must produce zero findings.
+#include <cstdint>
+#include <vector>
+
+namespace storsubsim::fixture {
+
+struct Rng {
+  std::uint64_t state = 0;
+  std::uint64_t operator()() { return state += 0x9e3779b97f4a7c15ULL; }
+  Rng stream(const char*, std::uint64_t) const { return *this; }
+};
+
+std::vector<double> sample_failures(std::uint64_t seed, std::size_t n) {
+  Rng root{seed};
+  Rng hazard = root.stream("disk-hazard", 0);
+  std::vector<double> out;
+  out.reserve(n);
+  double simulated_time = 0.0;  // simulated clock, advanced by the event loop
+  for (std::size_t i = 0; i < n; ++i) {
+    simulated_time += static_cast<double>(hazard() >> 40u);
+    out.push_back(simulated_time);
+  }
+  return out;
+}
+
+}  // namespace storsubsim::fixture

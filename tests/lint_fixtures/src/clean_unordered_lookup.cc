@@ -1,0 +1,34 @@
+// Fixture: hash containers used only for lookups and membership tests — the
+// legitimate pattern. Must produce zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace storsubsim::fixture {
+
+double lookups_only(const std::vector<std::uint32_t>& ids) {
+  std::unordered_map<std::uint32_t, double> weight;
+  std::unordered_set<std::uint32_t> dead;
+  weight[4] = 2.0;
+  dead.insert(11);
+
+  double total = 0.0;
+  for (const std::uint32_t id : ids) {  // iterating a vector is fine
+    if (dead.contains(id)) continue;
+    const auto it = weight.find(id);
+    if (it != weight.end()) total += it->second;
+  }
+  // Deterministic drain: copy keys out, sort, then index the hash map.
+  std::vector<std::uint32_t> keys;
+  keys.reserve(ids.size());
+  for (const std::uint32_t id : ids) {
+    if (weight.count(id) != 0) keys.push_back(id);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint32_t k : keys) total += weight[k];
+  return total;
+}
+
+}  // namespace storsubsim::fixture

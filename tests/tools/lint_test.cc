@@ -1,0 +1,290 @@
+// Tests for storsim_lint: each rule against its fixture corpus (in-process,
+// via the lint library), plus suppression handling, baseline round-trips,
+// scanner scoping, and CLI exit codes (via the installed binary).
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/linter.h"
+
+namespace lint = storsubsim::lint;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string fixture_path(const std::string& subpath) {
+  return std::string(STORSUBSIM_LINT_FIXTURES) + "/" + subpath;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lints a fixture under the display path the real scan would use, so the
+/// src/ and bench/ scoping of rules applies exactly as in production.
+lint::FileReport lint_fixture(const std::string& subpath) {
+  return lint::lint_source("tests/lint_fixtures/" + subpath, read_file(fixture_path(subpath)));
+}
+
+std::size_t count_rule(const lint::FileReport& report, lint::Rule rule) {
+  std::size_t n = 0;
+  for (const auto& f : report.findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+int run_cli(const std::string& args) {
+  const std::string cmd =
+      std::string(STORSUBSIM_LINT_BIN) + " " + args + " > /dev/null 2> /dev/null";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_TRUE(WIFEXITED(rc));
+  return WEXITSTATUS(rc);
+}
+
+// --- rule: nondeterminism ---------------------------------------------------
+
+TEST(NondeterminismRule, FlagsEveryAmbientSourceInSrc) {
+  const auto report = lint_fixture("src/bad_nondeterminism.cc");
+  EXPECT_EQ(report.findings.size(), 7u);
+  EXPECT_EQ(count_rule(report, lint::Rule::kNondeterminism), 7u);
+  std::vector<std::string> tokens;
+  for (const auto& f : report.findings) {
+    tokens.push_back(f.message.substr(0, f.message.find_first_of(":' ")));
+  }
+  for (const char* expected :
+       {"random_device", "srand", "time", "rand", "system_clock", "steady_clock", "getenv"}) {
+    EXPECT_NE(std::find(tokens.begin(), tokens.end(), expected), tokens.end())
+        << "no finding for " << expected;
+  }
+}
+
+TEST(NondeterminismRule, MemberNamedTimeAndCommentsAreNotFlagged) {
+  // The fixture contains `e.time`, a string mentioning rand(), and comments
+  // naming std::random_device — none may trigger (they'd have raised the
+  // count above 7, but make the property explicit on a clean file too).
+  const auto report = lint_fixture("src/clean_deterministic.cc");
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(NondeterminismRule, ScopedToSrcOnly) {
+  const auto report = lint_fixture("bench/timing_uses_clock.cc");
+  EXPECT_TRUE(report.findings.empty()) << "bench/ may time things with wall clocks";
+}
+
+TEST(NondeterminismRule, GetenvAllowlistCoversThreadConfig) {
+  const std::string snippet = "#include <cstdlib>\n"
+                              "int threads() { return std::getenv(\"STORSIM_THREADS\") ? 1 : 0; }\n";
+  EXPECT_TRUE(lint::lint_source("src/util/parallel.cc", snippet).findings.empty());
+  EXPECT_EQ(lint::lint_source("src/sim/simulator.cc", snippet).findings.size(), 1u);
+}
+
+// --- rule: unordered-iter ---------------------------------------------------
+
+TEST(UnorderedIterRule, FlagsRangeForIteratorLoopsAndAlgorithms) {
+  const auto report = lint_fixture("src/bad_unordered_iter.cc");
+  EXPECT_EQ(count_rule(report, lint::Rule::kUnorderedIter), 5u);
+  EXPECT_EQ(report.findings.size(), 5u);
+}
+
+TEST(UnorderedIterRule, TracksDeclarationsThroughUsingAliases) {
+  const auto report = lint_fixture("src/bad_unordered_iter.cc");
+  bool alias_hit = false;
+  for (const auto& f : report.findings) {
+    if (f.message.find("'per_group'") != std::string::npos) alias_hit = true;
+  }
+  EXPECT_TRUE(alias_hit) << "GroupIndex alias declaration was not tracked";
+}
+
+TEST(UnorderedIterRule, LookupOnlyUsageIsClean) {
+  EXPECT_TRUE(lint_fixture("src/clean_unordered_lookup.cc").findings.empty());
+}
+
+TEST(UnorderedIterRule, HonoursJustifiedAllowAnnotations) {
+  const auto report = lint_fixture("src/allowed_unordered_iter.cc");
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_EQ(report.suppressions.size(), 2u);
+  EXPECT_EQ(report.suppressions[0].rule, lint::Rule::kUnorderedIter);
+  EXPECT_FALSE(report.suppressions[0].reason.empty());
+  EXPECT_FALSE(report.suppressions[1].reason.empty());
+}
+
+TEST(UnorderedIterRule, ScopedToSrcOnly) {
+  const std::string snippet =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "int sum() { int s = 0; for (auto& [k, v] : m) s += v; return s; }\n";
+  EXPECT_EQ(lint::lint_source("src/core/afr.cc", snippet).findings.size(), 1u);
+  EXPECT_TRUE(lint::lint_source("bench/table1_overview.cc", snippet).findings.empty());
+}
+
+// --- rule: suppression hygiene ----------------------------------------------
+
+TEST(SuppressionRule, ReasonlessOrUnknownAllowIsItselfAFinding) {
+  const auto report = lint_fixture("src/bad_suppression.cc");
+  EXPECT_EQ(count_rule(report, lint::Rule::kBadSuppression), 2u);
+  // And the reasonless allow() must NOT have suppressed the real finding.
+  EXPECT_EQ(count_rule(report, lint::Rule::kUnorderedIter), 1u);
+  EXPECT_TRUE(report.suppressions.empty());
+}
+
+// --- rule: rng-discipline ---------------------------------------------------
+
+TEST(RngDisciplineRule, FlagsAdHocEnginesAndDistributions) {
+  const auto report = lint_fixture("src/bad_rng_discipline.cc");
+  EXPECT_EQ(count_rule(report, lint::Rule::kRngDiscipline), 5u);
+  EXPECT_EQ(report.findings.size(), 5u);
+}
+
+TEST(RngDisciplineRule, ProjectNamesEndingInDistributionAreClean) {
+  const std::string snippet =
+      "namespace stats { double bootstrap_distribution(double x); }\n"
+      "double f() { return stats::bootstrap_distribution(1.0); }\n";
+  EXPECT_TRUE(lint::lint_source("src/stats_client.cc", snippet).findings.empty());
+}
+
+TEST(RngDisciplineRule, StatsRngImplementationIsExempt) {
+  const std::string snippet = "#include <random>\nstd::mt19937 legacy_shim;\n";
+  EXPECT_TRUE(lint::lint_source("src/stats/distributions.cc", snippet).findings.empty());
+  EXPECT_EQ(lint::lint_source("src/sim/scenario.cc", snippet).findings.size(), 1u);
+}
+
+// --- rule: header-hygiene ---------------------------------------------------
+
+TEST(HeaderHygieneRule, FlagsMissingGuard) {
+  const auto report = lint_fixture("include/bad_missing_guard.h");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, lint::Rule::kHeaderHygiene);
+  EXPECT_EQ(report.findings[0].line, 1u);
+}
+
+TEST(HeaderHygieneRule, FlagsUsingNamespace) {
+  const auto report = lint_fixture("include/bad_using_namespace.h");
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, lint::Rule::kHeaderHygiene);
+}
+
+TEST(HeaderHygieneRule, CleanHeaderAndClassicGuardPass) {
+  EXPECT_TRUE(lint_fixture("include/clean_header.h").findings.empty());
+  const std::string guarded =
+      "#ifndef FOO_H_\n#define FOO_H_\nint f();\n#endif  // FOO_H_\n";
+  EXPECT_TRUE(lint::lint_source("src/foo.h", guarded).findings.empty());
+}
+
+TEST(HeaderHygieneRule, SourcesAreNotHeldToHeaderRules) {
+  EXPECT_TRUE(lint::lint_source("src/foo.cc", "int f() { return 1; }\n").findings.empty());
+}
+
+// --- baselines --------------------------------------------------------------
+
+TEST(Baseline, RoundTripSilencesAcceptedFindings) {
+  auto bad = lint_fixture("src/bad_unordered_iter.cc");
+  ASSERT_FALSE(bad.findings.empty());
+  const std::string text = lint::serialize_baseline(bad.findings);
+
+  std::vector<std::string> errors;
+  auto baseline = lint::parse_baseline(text, &errors);
+  EXPECT_TRUE(errors.empty());
+  const auto fresh = lint::apply_baseline(lint_fixture("src/bad_unordered_iter.cc").findings,
+                                          std::move(baseline));
+  EXPECT_TRUE(fresh.empty());
+}
+
+TEST(Baseline, NewFindingsSurviveAnUnrelatedBaseline) {
+  auto accepted = lint_fixture("src/bad_unordered_iter.cc");
+  auto baseline = lint::parse_baseline(lint::serialize_baseline(accepted.findings), nullptr);
+  const auto fresh = lint::apply_baseline(lint_fixture("src/bad_rng_discipline.cc").findings,
+                                          std::move(baseline));
+  EXPECT_EQ(fresh.size(), 5u);
+}
+
+TEST(Baseline, KeysSurviveLineDriftButNotContentChanges) {
+  const std::string v1 = "#include <cstdlib>\nint f() { return std::rand(); }\n";
+  const std::string v2 =  // same line, pushed down two lines
+      "#include <cstdlib>\n\n\nint f() { return std::rand(); }\n";
+  const std::string v3 = "#include <cstdlib>\nint g() { return std::rand(); }\n";
+  const auto f1 = lint::lint_source("src/a.cc", v1).findings;
+  const auto f2 = lint::lint_source("src/a.cc", v2).findings;
+  const auto f3 = lint::lint_source("src/a.cc", v3).findings;
+  ASSERT_EQ(f1.size(), 1u);
+  ASSERT_EQ(f2.size(), 1u);
+  ASSERT_EQ(f3.size(), 1u);
+  EXPECT_EQ(lint::baseline_key(f1[0]), lint::baseline_key(f2[0]));
+  EXPECT_NE(lint::baseline_key(f1[0]), lint::baseline_key(f3[0]));
+}
+
+// --- scanner ----------------------------------------------------------------
+
+TEST(CollectSources, RecursiveScanSkipsTheFixtureCorpus) {
+  const lint::LintOptions options;
+  std::vector<std::string> errors;
+  const auto sources =
+      lint::collect_sources({STORSUBSIM_TESTS_DIR}, STORSUBSIM_TESTS_DIR, options, &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_FALSE(sources.empty());
+  bool found_self = false;
+  for (const auto& s : sources) {
+    EXPECT_EQ(s.display_path.find("lint_fixtures"), std::string::npos) << s.display_path;
+    if (s.display_path == "tools/lint_test.cc") found_self = true;
+  }
+  EXPECT_TRUE(found_self);
+}
+
+TEST(CollectSources, ExplicitlyNamedFixtureFilesAreLinted) {
+  const lint::LintOptions options;
+  std::vector<std::string> errors;
+  const auto sources = lint::collect_sources({fixture_path("src/bad_rng_discipline.cc")},
+                                             STORSUBSIM_LINT_FIXTURES, options, &errors);
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].display_path, "src/bad_rng_discipline.cc");
+}
+
+// --- CLI exit codes ----------------------------------------------------------
+
+TEST(Cli, ExitsNonzeroOnEveryViolatingFixture) {
+  for (const char* bad : {"src/bad_nondeterminism.cc", "src/bad_unordered_iter.cc",
+                          "src/bad_rng_discipline.cc", "src/bad_suppression.cc",
+                          "include/bad_missing_guard.h", "include/bad_using_namespace.h"}) {
+    EXPECT_EQ(run_cli("--check " + fixture_path(bad)), 1) << bad;
+  }
+}
+
+TEST(Cli, ExitsZeroOnCleanFixtures) {
+  for (const char* good :
+       {"src/clean_deterministic.cc", "src/clean_unordered_lookup.cc",
+        "src/allowed_unordered_iter.cc", "bench/timing_uses_clock.cc",
+        "include/clean_header.h"}) {
+    EXPECT_EQ(run_cli("--check " + fixture_path(good)), 0) << good;
+  }
+}
+
+TEST(Cli, BaselineWorkflowAcceptsOldFindingsAndCatchesNewOnes) {
+  const std::string baseline = testing::TempDir() + "/storsim_lint_test.baseline";
+  const std::string bad = fixture_path("src/bad_unordered_iter.cc");
+  EXPECT_EQ(run_cli("--write-baseline " + baseline + " " + bad), 0);
+  EXPECT_EQ(run_cli("--baseline " + baseline + " " + bad), 0);
+  // A different violating file is NOT covered by that baseline.
+  EXPECT_EQ(run_cli("--baseline " + baseline + " " + fixture_path("src/bad_rng_discipline.cc")),
+            1);
+  fs::remove(baseline);
+}
+
+TEST(Cli, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli(""), 2);                                  // no paths
+  EXPECT_EQ(run_cli("--no-such-flag src"), 2);                // unknown option
+  EXPECT_EQ(run_cli("--check /no/such/path/exists.cc"), 2);   // bad path
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// storsim_lint — static enforcement of the project's determinism contract.
+//
+// The analysis pipeline promises bit-identical output at any thread count
+// (see docs/performance.md). Runtime ThreadInvariance tests catch violations
+// probabilistically; this linter proves the cheap half statically by refusing
+// to let known nondeterminism sources into the tree at all:
+//
+//   nondeterminism  — wall clocks, rand()/srand, std::random_device, getenv
+//                     (outside an explicit allowlist) in src/
+//   unordered-iter  — range-for / begin() iteration over std::unordered_map
+//                     or std::unordered_set in src/, whose order is a hash-
+//                     table implementation detail
+//   rng-discipline  — ad-hoc <random> engines or distributions anywhere;
+//                     randomness must flow through stats/rng.h keyed streams
+//   header-hygiene  — headers need #pragma once (or a guard) and must not
+//                     contain using-namespace directives
+//
+// Intentional exceptions are either annotated inline,
+//
+//   // storsim-lint: allow(unordered-iter) reason=order-insensitive counters
+//
+// (the reason is mandatory; the tool records every suppression it honours),
+// or versioned in a baseline file via --write-baseline / --baseline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace storsubsim::lint {
+
+enum class Rule {
+  kNondeterminism,
+  kUnorderedIter,
+  kRngDiscipline,
+  kHeaderHygiene,
+  kBadSuppression,
+};
+
+inline constexpr Rule kAllRules[] = {Rule::kNondeterminism, Rule::kUnorderedIter,
+                                     Rule::kRngDiscipline, Rule::kHeaderHygiene,
+                                     Rule::kBadSuppression};
+
+std::string_view rule_name(Rule rule) noexcept;
+std::optional<Rule> rule_from_name(std::string_view name) noexcept;
+
+struct Finding {
+  std::string path;       // normalized with '/' separators
+  std::size_t line = 0;   // 1-based
+  Rule rule = Rule::kNondeterminism;
+  std::string message;
+  std::string excerpt;    // trimmed source line the finding points at
+};
+
+/// An inline allow() annotation the linter honoured.
+struct Suppression {
+  std::string path;
+  std::size_t line = 0;   // line the suppression applies to
+  Rule rule = Rule::kNondeterminism;
+  std::string reason;
+};
+
+struct LintOptions {
+  /// Normalized path suffixes permitted to call getenv (configuration entry
+  /// points that run before any simulation state exists).
+  std::vector<std::string> getenv_allowlist = {"src/util/parallel.cc"};
+  /// Directory names never descended into during recursive scans. Fixture
+  /// files are deliberately bad; they are linted only when named explicitly.
+  std::vector<std::string> skip_dirs = {"lint_fixtures", ".git", "build",
+                                        "build-tsan", "build-asan-ubsan"};
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+};
+
+/// Lints one translation unit / header. `path` should already be normalized
+/// (forward slashes, relative to the repo root when possible): rule scoping
+/// (src/ vs bench/ vs tests/) and the getenv allowlist key off of it.
+FileReport lint_source(std::string_view path, std::string_view contents,
+                       const LintOptions& options = {});
+
+/// Normalizes a filesystem path for reporting: forward slashes, "./" stripped,
+/// and made relative to `root` when it lies underneath it.
+std::string normalize_path(std::string_view path, std::string_view root);
+
+/// Expands files/directories into the list of lintable sources (recursing
+/// into directories, honouring options.skip_dirs, matching C++ extensions).
+/// Explicitly named files are always included. Returns normalized paths
+/// paired with the on-disk path to read.
+struct SourceFile {
+  std::string display_path;  // normalized, used in reports and baselines
+  std::string fs_path;       // path to open
+};
+std::vector<SourceFile> collect_sources(const std::vector<std::string>& paths,
+                                        std::string_view root,
+                                        const LintOptions& options,
+                                        std::vector<std::string>* errors);
+
+// --- baseline support -------------------------------------------------------
+// A baseline is a sorted text file, one line per accepted finding:
+//   rule <TAB> path <TAB> line-hash <TAB> excerpt
+// The hash is FNV-1a over the trimmed source line, so findings survive line-
+// number drift but not content changes. Multiplicity is preserved: two
+// identical lines in a file need two baseline entries.
+
+std::string baseline_key(const Finding& finding);
+std::string serialize_baseline(std::vector<Finding> findings);
+/// Parses baseline text into key -> multiplicity. Lines starting with '#'
+/// and blank lines are ignored. Unparseable lines are reported via *errors.
+std::map<std::string, int> parse_baseline(std::string_view text,
+                                          std::vector<std::string>* errors);
+/// Drops findings covered by the baseline (consuming multiplicity) and
+/// returns the remaining, genuinely new findings.
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    std::map<std::string, int> baseline);
+
+/// "path:line: [rule] message" + indented excerpt, one finding per block.
+std::string format_finding(const Finding& finding);
+
+}  // namespace storsubsim::lint

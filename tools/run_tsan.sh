@@ -1,35 +1,3 @@
 #!/usr/bin/env sh
-# Build the tsan preset and race the fleet-parallel execution layer.
-#
-# Runs the thread-pool, simulator, and stats unit tests under
-# ThreadSanitizer, then the cross-thread-count determinism tests at 1 and 8
-# workers. Any data race in the parallel shelf/system fan-out, the sharded
-# log pipeline, or the bootstrap replicate split fails the script.
-#
-# Usage: tools/run_tsan.sh [extra ctest args...]
-set -eu
-
-cd "$(dirname "$0")/.."
-
-cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)"
-
-run_ctest() {
-  ctest --test-dir build-tsan --output-on-failure "$@"
-}
-
-# Unit tests for the parallel substrate and everything that fans out on it.
-run_ctest -R 'ThreadPool|ParallelFor|ThreadConfig'
-run_ctest -R 'Simulator\.|Bootstrap'
-
-# Determinism contract under contention and with an oversubscribed pool:
-# the invariance tests internally compare 1-thread vs 4-thread runs; running
-# them with the pool default pinned to 1 and then 8 exercises both the
-# inline path and heavy oversubscription on small machines.
-for threads in 1 8; do
-  echo "== determinism tests with STORSIM_THREADS=${threads} =="
-  STORSIM_THREADS="${threads}" run_ctest \
-    -R 'BitIdenticalAcrossThreadCounts' "$@"
-done
-
-echo "TSan suite passed."
+# Back-compat shim: the sanitizer runners were unified into run_sanitizer.sh.
+exec "$(dirname "$0")/run_sanitizer.sh" tsan "$@"

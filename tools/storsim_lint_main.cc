@@ -1,0 +1,153 @@
+// storsim_lint CLI — see tools/lint/linter.h and docs/static-analysis.md.
+//
+//   storsim_lint --check src bench tests            # gate (default mode)
+//   storsim_lint --write-baseline lint.baseline src # accept current findings
+//   storsim_lint --baseline lint.baseline src       # fail only on NEW findings
+//   storsim_lint --list-suppressions src            # audit inline allow()s
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace {
+
+using namespace storsubsim;  // tool code, not a header
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file-or-dir>...\n"
+               "\n"
+               "Static determinism & hygiene checks for the storsubsim tree.\n"
+               "Rules: nondeterminism, unordered-iter, rng-discipline, header-hygiene.\n"
+               "\n"
+               "  --check                 report findings, exit 1 if any (default)\n"
+               "  --baseline FILE         ignore findings recorded in FILE\n"
+               "  --write-baseline FILE   record current findings into FILE and exit 0\n"
+               "  --root DIR              report paths relative to DIR (default: cwd)\n"
+               "  --list-suppressions     also print every honoured inline allow()\n"
+               "  --quiet                 suppress the summary line\n",
+               argv0);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, write_baseline_path, root = ".";
+  bool list_suppressions = false, quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--check") {
+      // default mode; accepted for self-documenting invocations
+    } else if (arg == "--baseline") {
+      if (!value(&baseline_path)) return usage(argv[0]);
+    } else if (arg == "--write-baseline") {
+      if (!value(&write_baseline_path)) return usage(argv[0]);
+    } else if (arg == "--root") {
+      if (!value(&root)) return usage(argv[0]);
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.starts_with("--")) {
+      std::fprintf(stderr, "storsim_lint: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  const lint::LintOptions options;
+  std::vector<std::string> errors;
+  const auto sources = lint::collect_sources(paths, root, options, &errors);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "storsim_lint: %s\n", e.c_str());
+  }
+  if (!errors.empty()) return 2;
+
+  std::vector<lint::Finding> findings;
+  std::vector<lint::Suppression> suppressions;
+  for (const auto& source : sources) {
+    std::string contents;
+    if (!read_file(source.fs_path, &contents)) {
+      std::fprintf(stderr, "storsim_lint: cannot read %s\n", source.fs_path.c_str());
+      return 2;
+    }
+    auto report = lint::lint_source(source.display_path, contents, options);
+    findings.insert(findings.end(), std::make_move_iterator(report.findings.begin()),
+                    std::make_move_iterator(report.findings.end()));
+    suppressions.insert(suppressions.end(),
+                        std::make_move_iterator(report.suppressions.begin()),
+                        std::make_move_iterator(report.suppressions.end()));
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "storsim_lint: cannot write %s\n", write_baseline_path.c_str());
+      return 2;
+    }
+    out << lint::serialize_baseline(findings);
+    if (!quiet) {
+      std::printf("storsim_lint: wrote %zu finding(s) to baseline %s\n", findings.size(),
+                  write_baseline_path.c_str());
+    }
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::fprintf(stderr, "storsim_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::vector<std::string> baseline_errors;
+    auto baseline = lint::parse_baseline(text, &baseline_errors);
+    for (const std::string& e : baseline_errors) {
+      std::fprintf(stderr, "storsim_lint: %s: %s\n", baseline_path.c_str(), e.c_str());
+    }
+    findings = lint::apply_baseline(std::move(findings), std::move(baseline));
+  }
+
+  for (const auto& f : findings) {
+    std::fputs(lint::format_finding(f).c_str(), stdout);
+  }
+  if (list_suppressions) {
+    for (const auto& s : suppressions) {
+      std::printf("%s:%zu: suppressed [%s] reason: %s\n", s.path.c_str(), s.line,
+                  std::string(lint::rule_name(s.rule)).c_str(), s.reason.c_str());
+    }
+  }
+  if (!quiet) {
+    std::printf("storsim_lint: %zu file(s), %zu finding(s), %zu suppression(s) honoured\n",
+                sources.size(), findings.size(), suppressions.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
