@@ -5,7 +5,12 @@
 // produce identical datasets, and writes the measurements to
 // BENCH_parallel.json so later PRs can track the trajectory.
 //
-//   parallel_baseline [--threads=<n>] [--seed=<n>] [--out=<path>]
+//   parallel_baseline [--threads=<n>] [--seed=<n>] [--repeat=<n>] [--out=<path>]
+//
+// --repeat runs each timed configuration n times and keeps the fastest run
+// (min-of-N suppresses scheduler noise; the dataset is identical each time).
+// The serial row also records the per-stage wall-time breakdown reported by
+// the pipeline (PipelineStats::stage_seconds).
 //
 // Scales measured: 0.25 and 1.0 (the paper's full ~39k-system fleet).
 #include <chrono>
@@ -31,14 +36,31 @@ struct Measurement {
   double parallel_seconds;
   std::size_t events;
   bool identical;
+  core::StageSeconds serial_stages;  // breakdown of the fastest serial run
 };
 
-double time_run(const model::FleetConfig& config, std::size_t* events_out) {
+double time_run(const model::FleetConfig& config, std::size_t* events_out,
+                core::StageSeconds* stages_out) {
   const auto start = std::chrono::steady_clock::now();
   const auto sd = core::simulate_and_analyze(config);
   const auto stop = std::chrono::steady_clock::now();
   if (events_out != nullptr) *events_out = sd.dataset.events().size();
+  if (stages_out != nullptr) *stages_out = sd.pipeline.stage_seconds;
   return std::chrono::duration<double>(stop - start).count();
+}
+
+double best_of(int repeat, const model::FleetConfig& config, std::size_t* events_out,
+               core::StageSeconds* stages_out) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    core::StageSeconds stages;
+    const double seconds = time_run(config, events_out, &stages);
+    if (r == 0 || seconds < best) {
+      best = seconds;
+      if (stages_out != nullptr) *stages_out = stages;
+    }
+  }
+  return best;
 }
 
 bool runs_identical(const model::FleetConfig& config, unsigned threads_a, unsigned threads_b) {
@@ -58,6 +80,7 @@ bool runs_identical(const model::FleetConfig& config, unsigned threads_a, unsign
 int main(int argc, char** argv) {
   unsigned threads = util::hardware_threads();
   std::uint64_t seed = 20080226;
+  int repeat = 1;
   std::string out_path = "BENCH_parallel.json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -65,11 +88,14 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
     } else if (arg.starts_with("--seed=")) {
       seed = std::stoull(std::string(arg.substr(7)));
+    } else if (arg.starts_with("--repeat=")) {
+      repeat = static_cast<int>(std::stoul(std::string(arg.substr(9))));
     } else if (arg.starts_with("--out=")) {
       out_path = std::string(arg.substr(6));
     }
   }
   if (threads == 0) threads = util::hardware_threads();
+  if (repeat < 1) repeat = 1;
 
   std::vector<Measurement> rows;
   for (const double scale : {0.25, 1.0}) {
@@ -80,30 +106,39 @@ int main(int argc, char** argv) {
     m.threads_parallel = threads;
 
     util::set_thread_count(1);
-    m.serial_seconds = time_run(config, &m.events);
+    m.serial_seconds = best_of(repeat, config, &m.events, &m.serial_stages);
     util::set_thread_count(threads);
-    m.parallel_seconds = time_run(config, nullptr);
+    m.parallel_seconds = best_of(repeat, config, nullptr, nullptr);
     m.identical = runs_identical(config, 1, threads);
     rows.push_back(m);
 
+    const auto& st = m.serial_stages;
     std::cout << "scale " << scale << ": serial " << m.serial_seconds << " s, " << threads
               << " threads " << m.parallel_seconds << " s (speedup "
               << m.serial_seconds / m.parallel_seconds << "x), " << m.events << " events, "
-              << (m.identical ? "bit-identical" : "MISMATCH") << "\n";
+              << (m.identical ? "bit-identical" : "MISMATCH") << "\n"
+              << "  serial stages: simulate " << st.simulate << " s, emit " << st.emit
+              << " s, parse " << st.parse << " s, classify " << st.classify << " s, sort "
+              << st.sort << " s\n";
   }
   util::set_thread_count(0);
 
   std::ofstream out(out_path);
   out << "{\n  \"benchmark\": \"simulate_and_analyze\",\n  \"hardware_threads\": "
-      << util::hardware_threads() << ",\n  \"seed\": " << seed << ",\n  \"runs\": [\n";
+      << util::hardware_threads() << ",\n  \"seed\": " << seed
+      << ",\n  \"repeat\": " << repeat << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Measurement& m = rows[i];
+    const auto& st = m.serial_stages;
     out << "    {\"scale\": " << m.scale << ", \"events\": " << m.events
         << ", \"serial_seconds\": " << m.serial_seconds
         << ", \"threads\": " << m.threads_parallel
         << ", \"parallel_seconds\": " << m.parallel_seconds
         << ", \"speedup\": " << m.serial_seconds / m.parallel_seconds
-        << ", \"bit_identical\": " << (m.identical ? "true" : "false") << "}"
+        << ", \"bit_identical\": " << (m.identical ? "true" : "false")
+        << ",\n     \"serial_stage_seconds\": {\"simulate\": " << st.simulate
+        << ", \"emit\": " << st.emit << ", \"parse\": " << st.parse
+        << ", \"classify\": " << st.classify << ", \"sort\": " << st.sort << "}}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

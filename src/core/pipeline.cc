@@ -2,22 +2,33 @@
 
 #include <algorithm>
 #include <memory>
-#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "log/classifier.h"
+#include "log/line_writer.h"
 #include "log/parser.h"
 #include "sim/log_bridge.h"
 #include "util/parallel.h"
+#include "util/stage_timer.h"
 
 namespace storsubsim::core {
 
 namespace {
 
+/// Rough bytes-per-failure for pre-sizing a shard's log buffer: chains are
+/// 3-6 lines of ~60-190 characters (see log/emitter.cc tables).
+constexpr std::size_t kLogBytesPerFailure = 768;
+
 /// One shard's emit -> parse -> classify round-trip. The emitter, parser and
 /// classifier are stateless across records except for the classifier's
 /// (disk, type) de-duplication window — and a disk lives in exactly one
 /// system, so sharding by system keeps every dedup decision within a shard.
+///
+/// The whole trip happens in one retained text buffer: the emitter appends
+/// rendered lines to it, the parser walks it yielding views that alias it,
+/// and the classifier consumes the views — the buffer outlives all of them
+/// (it dies when this function returns, after classification).
 struct ShardOutput {
   std::vector<log::ClassifiedFailure> failures;
   PipelineStats stats;
@@ -26,18 +37,34 @@ struct ShardOutput {
 ShardOutput roundtrip_shard(const model::Fleet& fleet,
                             std::span<const sim::SimFailure> failures) {
   ShardOutput out;
-  std::stringstream log_text;
-  out.stats.log_lines_written = sim::write_failure_logs(log_text, fleet, failures);
+  util::StageTimer timer;
 
-  std::vector<log::LogRecord> records;
-  const log::ParseStats parse_stats = log::parse_stream(log_text, records);
+  log::LineWriter log_text(failures.size() * kLogBytesPerFailure);
+  out.stats.log_lines_written = sim::write_failure_logs(log_text, fleet, failures);
+  out.stats.stage_seconds.emit = timer.lap();
+
+  std::vector<log::LogView> records;
+  const log::ParseStats parse_stats = log::parse_text(log_text.view(), records);
   out.stats.log_lines_parsed = parse_stats.lines_parsed;
+  out.stats.stage_seconds.parse = timer.lap();
 
   log::ClassifierStats classifier_stats;
-  out.failures = log::classify(records, log::ClassifierOptions{}, &classifier_stats);
+  out.failures = log::classify(std::span<const log::LogView>(records),
+                               log::ClassifierOptions{}, &classifier_stats);
   out.stats.raid_records = classifier_stats.raid_records;
   out.stats.failures_classified = out.failures.size();
+  out.stats.stage_seconds.classify = timer.lap();
   return out;
+}
+
+void accumulate(PipelineStats& into, const PipelineStats& shard) {
+  into.log_lines_written += shard.log_lines_written;
+  into.log_lines_parsed += shard.log_lines_parsed;
+  into.raid_records += shard.raid_records;
+  into.failures_classified += shard.failures_classified;
+  into.stage_seconds.emit += shard.stage_seconds.emit;
+  into.stage_seconds.parse += shard.stage_seconds.parse;
+  into.stage_seconds.classify += shard.stage_seconds.classify;
 }
 
 }  // namespace
@@ -46,12 +73,14 @@ Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result
                          PipelineStats* stats) {
   PipelineStats local;
 
-  // The config snapshot is one global artifact; round-trip it serially.
-  std::stringstream snapshot_text;
+  // The config snapshot is one global artifact; round-trip it serially
+  // through a string buffer.
+  log::LineWriter snapshot_text;
   log::write_snapshot(snapshot_text, fleet);
-  auto snapshot = log::parse_snapshot(snapshot_text);
+  auto snapshot = log::parse_snapshot(snapshot_text.view());
   if (!snapshot.ok()) {
-    throw std::runtime_error("pipeline: snapshot round-trip failed: " + snapshot.error);
+    throw std::runtime_error(
+        std::string("pipeline: snapshot round-trip failed: ").append(snapshot.error));
   }
 
   const std::size_t n_systems = fleet.systems().size();
@@ -93,19 +122,18 @@ Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result
     classified.reserve(total);
     for (auto& out : outputs) {
       classified.insert(classified.end(), out.failures.begin(), out.failures.end());
-      local.log_lines_written += out.stats.log_lines_written;
-      local.log_lines_parsed += out.stats.log_lines_parsed;
-      local.raid_records += out.stats.raid_records;
-      local.failures_classified += out.stats.failures_classified;
+      accumulate(local, out.stats);
     }
     // Restore the classifier's global output order (time, disk, type) so the
     // sharded pipeline is bit-identical to the serial one.
+    util::StageTimer sort_timer;
     std::sort(classified.begin(), classified.end(),
               [](const log::ClassifiedFailure& a, const log::ClassifiedFailure& b) {
                 if (a.time != b.time) return a.time < b.time;
                 if (a.disk != b.disk) return a.disk < b.disk;
                 return static_cast<int>(a.type) < static_cast<int>(b.type);
               });
+    local.stage_seconds.sort = sort_timer.lap();
   }
 
   if (stats != nullptr) *stats = local;
@@ -125,11 +153,14 @@ Dataset dataset_in_memory(const model::Fleet& fleet, const sim::SimResult& resul
 
 SimulationDataset simulate_and_analyze(const model::FleetConfig& config,
                                        const sim::SimParams& params, bool through_text_logs) {
+  util::StageTimer sim_timer;
   sim::FleetSimulation simulation = sim::simulate_fleet(config, params);
+  const double simulate_seconds = sim_timer.lap();
   PipelineStats pipeline;
   Dataset dataset = through_text_logs
                         ? dataset_via_logs(simulation.fleet, simulation.result, &pipeline)
                         : dataset_in_memory(simulation.fleet, simulation.result);
+  pipeline.stage_seconds.simulate = simulate_seconds;
   return SimulationDataset{std::move(dataset), simulation.result.counters, pipeline};
 }
 

@@ -14,11 +14,24 @@
 
 namespace storsubsim::core {
 
+/// Wall time each pipeline stage spent, in seconds. Observability only —
+/// stage times are outputs, never inputs, so the dataset stays bit-identical
+/// regardless of timer behavior. In the sharded pipeline emit/parse/classify
+/// are summed across shards (CPU-seconds, not wall span).
+struct StageSeconds {
+  double simulate = 0.0;
+  double emit = 0.0;
+  double parse = 0.0;
+  double classify = 0.0;
+  double sort = 0.0;  ///< global merge sort of shard outputs
+};
+
 struct PipelineStats {
   std::size_t log_lines_written = 0;
   std::size_t log_lines_parsed = 0;
   std::size_t raid_records = 0;
   std::size_t failures_classified = 0;
+  StageSeconds stage_seconds;
 };
 
 /// Builds a Dataset from an already-run simulation via the text-log

@@ -1,17 +1,43 @@
 #include "log/classifier.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstdint>
+#include <limits>
 
 namespace storsubsim::log {
 
-std::vector<ClassifiedFailure> classify(std::span<const LogRecord> records,
-                                        const ClassifierOptions& options,
-                                        ClassifierStats* stats) {
+namespace {
+
+std::optional<model::FailureType> terminal_type(const LogRecord& r) {
+  return failure_type_of_code(r.code);
+}
+
+std::optional<model::FailureType> terminal_type(const LogView& r) {
+  return failure_type_of(r.code_id);
+}
+
+std::uint64_t dedup_key(const ClassifiedFailure& f) {
+  return (static_cast<std::uint64_t>(f.disk.value()) << 2u) | model::index_of(f.type);
+}
+
+template <class Record>
+std::vector<ClassifiedFailure> classify_impl(std::span<const Record> records,
+                                             const ClassifierOptions& options,
+                                             ClassifierStats* stats) {
   ClassifierStats local;
-  std::vector<ClassifiedFailure> failures;
+
+  // Counting pass so the collection vector is sized exactly once; terminal
+  // detection is a code-id switch (or one code compare on the owning path),
+  // far cheaper than the reallocations it avoids.
+  std::size_t terminals = 0;
   for (const auto& r : records) {
-    const auto type = failure_type_of_code(r.code);
+    if (terminal_type(r)) ++terminals;
+  }
+
+  std::vector<ClassifiedFailure> failures;
+  failures.reserve(terminals);
+  for (const auto& r : records) {
+    const auto type = terminal_type(r);
     if (!type) continue;  // precursor or unrelated RAID event
     ++local.raid_records;
     if (!r.disk.valid()) {
@@ -28,24 +54,45 @@ std::vector<ClassifiedFailure> classify(std::span<const LogRecord> records,
             });
 
   // Collapse duplicates: same (disk, type) within the window keeps only the
-  // earliest record.
+  // earliest record. The last-kept table is a sorted key array with a
+  // parallel time column, sized from the input — replaces the node-based
+  // unordered_map that dominated this stage's allocations.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(failures.size());
+  for (const auto& f : failures) keys.push_back(dedup_key(f));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<double> last_kept(keys.size(), -std::numeric_limits<double>::infinity());
+
   std::vector<ClassifiedFailure> out;
   out.reserve(failures.size());
-  // Key: disk id * 4 + type index -> last kept time.
-  std::unordered_map<std::uint64_t, double> last_kept;
   for (const auto& f : failures) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(f.disk.value()) << 2u) | model::index_of(f.type);
-    const auto it = last_kept.find(key);
-    if (it != last_kept.end() && f.time - it->second < options.dedup_window_seconds) {
+    const std::uint64_t key = dedup_key(f);
+    const auto slot = static_cast<std::size_t>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+    if (f.time - last_kept[slot] < options.dedup_window_seconds) {
       ++local.duplicates_dropped;
       continue;
     }
-    last_kept[key] = f.time;
+    last_kept[slot] = f.time;
     out.push_back(f);
   }
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+}  // namespace
+
+std::vector<ClassifiedFailure> classify(std::span<const LogRecord> records,
+                                        const ClassifierOptions& options,
+                                        ClassifierStats* stats) {
+  return classify_impl(records, options, stats);
+}
+
+std::vector<ClassifiedFailure> classify(std::span<const LogView> records,
+                                        const ClassifierOptions& options,
+                                        ClassifierStats* stats) {
+  return classify_impl(records, options, stats);
 }
 
 }  // namespace storsubsim::log

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "log/parser.h"
 #include "log/record.h"
 #include "model/enums.h"
 #include "model/ids.h"
@@ -42,6 +43,14 @@ struct ClassifierStats {
 /// Extracts and de-duplicates failures. Records may arrive in any order;
 /// output is sorted by time.
 std::vector<ClassifiedFailure> classify(std::span<const LogRecord> records,
+                                        const ClassifierOptions& options = {},
+                                        ClassifierStats* stats = nullptr);
+
+/// View-record overload — the pipeline fast path. Terminal detection
+/// switches on the interned event-code id, so no string is touched.
+/// Produces the same failures and stats as the owning overload for
+/// equivalent input.
+std::vector<ClassifiedFailure> classify(std::span<const LogView> records,
                                         const ClassifierOptions& options = {},
                                         ClassifierStats* stats = nullptr);
 

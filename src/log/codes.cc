@@ -1,0 +1,85 @@
+#include "log/codes.h"
+
+#include <algorithm>
+#include <array>
+
+namespace storsubsim::log {
+
+namespace {
+
+constexpr std::array<std::string_view, kEventCodeCount> kNames = {
+    "fci.device.timeout",
+    "fci.adapter.reset",
+    "fci.link.reset",
+    "scsi.cmd.abortedByHost",
+    "scsi.cmd.selectionTimeout",
+    "scsi.cmd.noMorePaths",
+    "scsi.cmd.checkCondition",
+    "scsi.cmd.protocolViolation",
+    "scsi.cmd.retryExhausted",
+    "scsi.cmd.slowResponse",
+    "scsi.cmd.slowCompletion",
+    "disk.ioMediumError",
+    "raid.config.disk.failed",
+    "raid.config.filesystem.disk.missing",
+    "raid.disk.protocol.error",
+    "raid.disk.timeout.slow",
+};
+
+struct IndexEntry {
+  std::string_view name;
+  EventCode code;
+};
+
+/// The table sorted by spelling, built once, so resolution is a binary
+/// search over ~16 views (no hashing, no allocation).
+const std::array<IndexEntry, kEventCodeCount>& sorted_index() {
+  static const std::array<IndexEntry, kEventCodeCount> index = [] {
+    std::array<IndexEntry, kEventCodeCount> out{};
+    for (std::size_t i = 0; i < kEventCodeCount; ++i) {
+      out[i] = IndexEntry{kNames[i], static_cast<EventCode>(i)};
+    }
+    std::sort(out.begin(), out.end(),
+              [](const IndexEntry& a, const IndexEntry& b) { return a.name < b.name; });
+    return out;
+  }();
+  return index;
+}
+
+}  // namespace
+
+std::string_view code_name(EventCode code) noexcept {
+  const auto i = static_cast<std::size_t>(code);
+  return i < kEventCodeCount ? kNames[i] : std::string_view("?");
+}
+
+EventCode code_id(std::string_view name) noexcept {
+  const auto& index = sorted_index();
+  const auto it = std::lower_bound(
+      index.begin(), index.end(), name,
+      [](const IndexEntry& e, std::string_view n) { return e.name < n; });
+  if (it != index.end() && it->name == name) return it->code;
+  return EventCode::kUnknown;
+}
+
+std::optional<model::FailureType> failure_type_of(EventCode code) noexcept {
+  switch (code) {
+    case EventCode::kRaidDiskFailed: return model::FailureType::kDisk;
+    case EventCode::kRaidDiskMissing: return model::FailureType::kPhysicalInterconnect;
+    case EventCode::kRaidProtocolError: return model::FailureType::kProtocol;
+    case EventCode::kRaidTimeoutSlow: return model::FailureType::kPerformance;
+    default: return std::nullopt;
+  }
+}
+
+EventCode raid_terminal_for(model::FailureType type) noexcept {
+  switch (type) {
+    case model::FailureType::kDisk: return EventCode::kRaidDiskFailed;
+    case model::FailureType::kPhysicalInterconnect: return EventCode::kRaidDiskMissing;
+    case model::FailureType::kProtocol: return EventCode::kRaidProtocolError;
+    case model::FailureType::kPerformance: return EventCode::kRaidTimeoutSlow;
+  }
+  return EventCode::kUnknown;
+}
+
+}  // namespace storsubsim::log

@@ -1,0 +1,66 @@
+#include "log/line_writer.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace storsubsim::log {
+
+namespace {
+
+/// Writes `v` zero-padded to `width` digits at `p` (wider values keep all
+/// digits); returns one past the last written char.
+char* put_padded(char* p, std::uint64_t v, int width) {
+  char digits[20];
+  const auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+  (void)ec;  // unsigned to_chars into a 20-byte buffer cannot fail
+  for (auto n = static_cast<int>(end - digits); n < width; ++n) *p++ = '0';
+  for (const char* d = digits; d != end; ++d) *p++ = *d;
+  return p;
+}
+
+}  // namespace
+
+LineWriter& LineWriter::u64(std::uint64_t v) {
+  char digits[20];
+  const auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+  (void)ec;
+  buf_.append(digits, end);
+  return *this;
+}
+
+LineWriter& LineWriter::fixed3(double v) {
+  char digits[64];
+  const auto [end, ec] =
+      std::to_chars(digits, digits + sizeof(digits), v, std::chars_format::fixed, 3);
+  if (ec == std::errc{}) {
+    buf_.append(digits, end);
+  } else {
+    buf_.append("inf");  // magnitude beyond the buffer; format guards with isinf first
+  }
+  return *this;
+}
+
+LineWriter& LineWriter::timestamp(double sim_seconds) {
+  const double clamped = std::max(0.0, sim_seconds);
+  const long total = std::lround(std::floor(clamped));
+  const auto days = static_cast<std::uint64_t>(total / 86400);
+  const auto hours = static_cast<std::uint64_t>((total % 86400) / 3600);
+  const auto mins = static_cast<std::uint64_t>((total % 3600) / 60);
+  const auto secs = static_cast<std::uint64_t>(total % 60);
+  // Rendered into a stack buffer first so the hot path pays one append, not
+  // eight ("D" + up-to-20-digit day + " hh:mm:ss").
+  char stamp[32];
+  char* p = stamp;
+  *p++ = 'D';
+  p = put_padded(p, days, 4);
+  *p++ = ' ';
+  p = put_padded(p, hours, 2);
+  *p++ = ':';
+  p = put_padded(p, mins, 2);
+  *p++ = ':';
+  p = put_padded(p, secs, 2);
+  buf_.append(stamp, p);
+  return *this;
+}
+
+}  // namespace storsubsim::log

@@ -8,10 +8,18 @@ namespace storsubsim::log {
 
 namespace {
 
-/// Parses "name=value" where value is a decimal integer or '-'.
+/// Parses "name=value" where value is a decimal integer or '-'. The match is
+/// anchored at a token boundary — start of the attribute block or preceded
+/// by a space — so "sys=" can never match inside a longer attribute name
+/// (e.g. a hypothetical "subsys=").
 std::optional<std::uint32_t> parse_id_attr(std::string_view text, std::string_view name) {
-  const auto pos = text.find(name);
-  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t pos = 0;
+  for (;;) {
+    pos = text.find(name, pos);
+    if (pos == std::string_view::npos) return std::nullopt;
+    if (pos == 0 || text[pos - 1] == ' ') break;
+    pos += 1;  // mid-token hit; resume the scan after it
+  }
   std::string_view rest = text.substr(pos + name.size());
   if (rest.starts_with("-")) return model::Id<model::DiskTag>::kInvalid;
   std::uint32_t value = 0;
@@ -22,20 +30,19 @@ std::optional<std::uint32_t> parse_id_attr(std::string_view text, std::string_vi
 
 }  // namespace
 
-std::optional<LogRecord> parse_line(std::string_view line) {
+bool parse_line_view(std::string_view line, LogView& out) {
   // Expected shape:
   //   D0012 03:14:15 t=<seconds> [<code>:<severity>] [sys=N disk=N]: <message>
   const auto t_pos = line.find(" t=");
-  if (t_pos == std::string_view::npos) return std::nullopt;
+  if (t_pos == std::string_view::npos) return false;
 
-  LogRecord record;
   {
     std::string_view rest = line.substr(t_pos + 3);
     // std::from_chars for double is available in GCC >= 11.
     double t = 0.0;
     const auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), t);
-    if (ec != std::errc{}) return std::nullopt;
-    record.time = t;
+    if (ec != std::errc{}) return false;
+    out.time = t;
     line = std::string_view(ptr, static_cast<std::size_t>(rest.data() + rest.size() - ptr));
   }
 
@@ -43,16 +50,17 @@ std::optional<LogRecord> parse_line(std::string_view line) {
   const auto code_close = line.find(']');
   if (code_open == std::string_view::npos || code_close == std::string_view::npos ||
       code_close <= code_open) {
-    return std::nullopt;
+    return false;
   }
   {
     std::string_view code_sev = line.substr(code_open + 1, code_close - code_open - 1);
     const auto colon = code_sev.rfind(':');
-    if (colon == std::string_view::npos) return std::nullopt;
-    record.code = std::string(code_sev.substr(0, colon));
+    if (colon == std::string_view::npos) return false;
+    out.code = code_sev.substr(0, colon);
+    out.code_id = code_id(out.code);
     const auto sev = parse_severity(code_sev.substr(colon + 1));
-    if (!sev) return std::nullopt;
-    record.severity = *sev;
+    if (!sev) return false;
+    out.severity = *sev;
   }
 
   std::string_view after = line.substr(code_close + 1);
@@ -60,42 +68,89 @@ std::optional<LogRecord> parse_line(std::string_view line) {
   const auto attr_close = after.find(']');
   if (attr_open == std::string_view::npos || attr_close == std::string_view::npos ||
       attr_close <= attr_open) {
-    return std::nullopt;
+    return false;
   }
   {
     std::string_view attrs = after.substr(attr_open + 1, attr_close - attr_open - 1);
     const auto sys = parse_id_attr(attrs, "sys=");
     const auto disk = parse_id_attr(attrs, "disk=");
-    if (!sys || !disk) return std::nullopt;
-    record.system = model::SystemId(*sys);
-    record.disk = model::DiskId(*disk);
+    if (!sys || !disk) return false;
+    out.system = model::SystemId(*sys);
+    out.disk = model::DiskId(*disk);
   }
 
   std::string_view message = after.substr(attr_close + 1);
   if (message.starts_with(": ")) message.remove_prefix(2);
-  record.message = std::string(message);
+  out.message = message;
+  return true;
+}
+
+ParseStats parse_text(std::string_view text, std::vector<LogView>& out) {
+  ParseStats stats;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, (nl == std::string_view::npos ? text.size() : nl) - pos);
+
+    ++stats.lines_total;
+    if (line.empty() || line[0] == '#') {
+      ++stats.lines_skipped;
+    } else {
+      // Lines without our "t=" marker are foreign (other subsystems, console
+      // noise); lines with the marker that still fail to parse are malformed.
+      LogView view;
+      if (parse_line_view(line, view)) {
+        out.push_back(view);
+        ++stats.lines_parsed;
+      } else if (line.find(" t=") != std::string_view::npos) {
+        ++stats.lines_malformed;
+      } else {
+        ++stats.lines_skipped;
+      }
+    }
+
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return stats;
+}
+
+std::optional<LogRecord> parse_line(std::string_view line) {
+  LogView view;
+  if (!parse_line_view(line, view)) return std::nullopt;
+  LogRecord record;
+  record.time = view.time;
+  record.code = std::string(view.code);
+  record.severity = view.severity;
+  record.disk = view.disk;
+  record.system = view.system;
+  record.message = std::string(view.message);
   return record;
 }
 
 ParseStats parse_stream(std::istream& in, std::vector<LogRecord>& out) {
-  ParseStats stats;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++stats.lines_total;
-    if (line.empty() || line[0] == '#') {
-      ++stats.lines_skipped;
-      continue;
-    }
-    // Lines without our "t=" marker are foreign (other subsystems, console
-    // noise); lines with the marker that still fail to parse are malformed.
-    if (auto record = parse_line(line)) {
-      out.push_back(std::move(*record));
-      ++stats.lines_parsed;
-    } else if (line.find(" t=") != std::string::npos) {
-      ++stats.lines_malformed;
-    } else {
-      ++stats.lines_skipped;
-    }
+  // Slurp the stream and run the buffer fast path; the owning records copy
+  // out of the buffer before it dies.
+  std::string text;
+  char chunk[1 << 16];
+  while (in) {
+    in.read(chunk, sizeof(chunk));
+    text.append(chunk, static_cast<std::size_t>(in.gcount()));
+  }
+
+  std::vector<LogView> views;
+  const ParseStats stats = parse_text(text, views);
+  out.reserve(out.size() + views.size());
+  for (const LogView& v : views) {
+    LogRecord record;
+    record.time = v.time;
+    record.code = std::string(v.code);
+    record.severity = v.severity;
+    record.disk = v.disk;
+    record.system = v.system;
+    record.message = std::string(v.message);
+    out.push_back(std::move(record));
   }
   return stats;
 }

@@ -3,6 +3,15 @@
 // The parser is deliberately forgiving: real support logs contain lines from
 // every subsystem, many of which the analysis does not understand. Unknown
 // or malformed lines are counted, not fatal.
+//
+// Two result shapes (docs/FORMAT.md):
+//   * LogView — the zero-copy fast path. `parse_text` walks a retained text
+//     buffer directly and yields records whose `code`/`message` are
+//     `string_view`s into that buffer; the event code is additionally
+//     resolved to an interned id (log/codes.h) so downstream consumers
+//     never compare strings. The buffer must outlive the views.
+//   * LogRecord — the owning path (`parse_line` / `parse_stream`), a thin
+//     adapter over the fast path for callers that keep records around.
 #pragma once
 
 #include <iosfwd>
@@ -10,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "log/codes.h"
 #include "log/record.h"
 
 namespace storsubsim::log {
@@ -20,6 +30,28 @@ struct ParseStats {
   std::size_t lines_skipped = 0;  ///< blank or recognizably foreign lines
   std::size_t lines_malformed = 0;  ///< looked like ours but failed to parse
 };
+
+/// A parsed line whose text fields alias the source buffer (zero-copy).
+struct LogView {
+  double time = 0.0;                          ///< seconds since study start
+  EventCode code_id = EventCode::kUnknown;    ///< interned id (kUnknown = foreign code)
+  Severity severity = Severity::kInfo;
+  model::DiskId disk;
+  model::SystemId system;
+  std::string_view code;     ///< aliases the parsed buffer
+  std::string_view message;  ///< aliases the parsed buffer
+
+  Layer layer() const { return layer_of_code(code); }
+};
+
+/// Parses one rendered line into `out` without copying text; returns false
+/// if the line is not a log record (out is unspecified then).
+bool parse_line_view(std::string_view line, LogView& out);
+
+/// Parses a whole text buffer (lines separated by '\n'); appends view
+/// records — aliasing `text` — to `out` in buffer order. The caller keeps
+/// `text` alive for as long as the views are used.
+ParseStats parse_text(std::string_view text, std::vector<LogView>& out);
 
 /// Parses a single rendered line; nullopt if the line is not a log record.
 std::optional<LogRecord> parse_line(std::string_view line);

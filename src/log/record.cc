@@ -1,5 +1,7 @@
 #include "log/record.h"
 
+#include "log/codes.h"
+
 namespace storsubsim::log {
 
 std::string_view to_string(Severity s) {
@@ -27,24 +29,11 @@ Layer layer_of_code(std::string_view code) {
 }
 
 std::string_view raid_code_for(model::FailureType type) {
-  switch (type) {
-    case model::FailureType::kDisk:
-      return "raid.config.disk.failed";
-    case model::FailureType::kPhysicalInterconnect:
-      return "raid.config.filesystem.disk.missing";
-    case model::FailureType::kProtocol:
-      return "raid.disk.protocol.error";
-    case model::FailureType::kPerformance:
-      return "raid.disk.timeout.slow";
-  }
-  return "raid.unknown";
+  return code_name(raid_terminal_for(type));
 }
 
 std::optional<model::FailureType> failure_type_of_code(std::string_view code) {
-  for (const auto t : model::kAllFailureTypes) {
-    if (code == raid_code_for(t)) return t;
-  }
-  return std::nullopt;
+  return failure_type_of(code_id(code));
 }
 
 }  // namespace storsubsim::log

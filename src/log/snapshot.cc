@@ -5,7 +5,6 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
 #include "model/fleet.h"
 #include "model/time.h"
@@ -19,12 +18,14 @@ using model::RaidGroupId;
 using model::ShelfId;
 using model::SystemId;
 
-std::string fmt_time(double t) {
-  if (std::isinf(t)) return "inf";
-  std::ostringstream os;
-  os.precision(3);
-  os << std::fixed << t;
-  return os.str();
+/// Appends a time value the way the format spells it: %.3f, or "inf" for
+/// the open-ended remove time of still-installed disks.
+void append_time(LineWriter& out, double t) {
+  if (std::isinf(t)) {
+    out.text("inf");
+  } else {
+    out.fixed3(t);
+  }
 }
 
 /// Splits "key=value" tokens out of a line.
@@ -34,17 +35,18 @@ class TokenReader {
 
   /// Finds "key=" and returns the value up to the next space.
   std::optional<std::string_view> get(std::string_view key) const {
-    std::string needle = std::string(key) + "=";
     std::size_t pos = 0;
     while (true) {
-      pos = line_.find(needle, pos);
+      pos = line_.find(key, pos);
       if (pos == std::string_view::npos) return std::nullopt;
+      const std::size_t eq = pos + key.size();
       // Must be at start or preceded by a space to avoid matching suffixes
-      // ("model=" inside "disk-model=").
-      if (pos == 0 || line_[pos - 1] == ' ') break;
-      pos += needle.size();
+      // ("model=" inside "disk-model="), and the key itself must be
+      // followed by '=' rather than being a prefix of a longer key.
+      if ((pos == 0 || line_[pos - 1] == ' ') && eq < line_.size() && line_[eq] == '=') break;
+      pos += 1;
     }
-    const std::size_t start = pos + needle.size();
+    const std::size_t start = pos + key.size() + 1;
     const std::size_t end = line_.find(' ', start);
     return line_.substr(start, end == std::string_view::npos ? line_.size() - start
                                                              : end - start);
@@ -82,32 +84,57 @@ double Inventory::disk_exposure_years(const InventoryDisk& disk) const {
   return end > start ? model::years(end - start) : 0.0;
 }
 
-void write_snapshot(std::ostream& out, const model::Fleet& fleet) {
-  out << "SNAPSHOT horizon=" << fmt_time(fleet.horizon_seconds()) << '\n';
+void write_snapshot(LineWriter& out, const model::Fleet& fleet) {
+  out.text("SNAPSHOT horizon=");
+  append_time(out, fleet.horizon_seconds());
+  out.newline();
   for (const auto& s : fleet.systems()) {
-    out << "SYSTEM id=" << s.id.value() << " class=" << model::to_string(s.cls)
-        << " paths=" << model::to_string(s.paths)
-        << " disk-model=" << model::to_string(s.disk_model)
-        << " shelf-model=" << model::to_string(s.shelf_model)
-        << " deploy=" << fmt_time(s.deploy_time) << " cohort=" << s.cohort << '\n';
+    out.text("SYSTEM id=").u32(s.id.value());
+    out.text(" class=").text(model::to_string(s.cls));
+    out.text(" paths=").text(model::to_string(s.paths));
+    out.text(" disk-model=").text(model::to_string(s.disk_model));
+    out.text(" shelf-model=").text(model::to_string(s.shelf_model));
+    out.text(" deploy=");
+    append_time(out, s.deploy_time);
+    out.text(" cohort=").u32(s.cohort).newline();
   }
   for (const auto& sh : fleet.shelves()) {
-    out << "SHELF id=" << sh.id.value() << " sys=" << sh.system.value()
-        << " model=" << model::to_string(sh.model) << '\n';
+    out.text("SHELF id=").u32(sh.id.value());
+    out.text(" sys=").u32(sh.system.value());
+    out.text(" model=").text(model::to_string(sh.model)).newline();
   }
   for (const auto& g : fleet.raid_groups()) {
-    out << "GROUP id=" << g.id.value() << " sys=" << g.system.value()
-        << " type=" << model::to_string(g.type) << " members=" << g.members.size()
-        << " span=" << g.shelf_span() << '\n';
+    out.text("GROUP id=").u32(g.id.value());
+    out.text(" sys=").u32(g.system.value());
+    out.text(" type=").text(model::to_string(g.type));
+    out.text(" members=").u64(g.members.size());
+    out.text(" span=").u32(g.shelf_span()).newline();
   }
   for (const auto& d : fleet.disks()) {
-    out << "DISK id=" << d.id.value() << " model=" << model::to_string(d.model)
-        << " sys=" << d.system.value() << " shelf=" << d.shelf.value() << " group="
-        << (d.raid_group.valid() ? std::to_string(d.raid_group.value()) : std::string("-"))
-        << " slot=" << d.slot << " install=" << fmt_time(d.install_time)
-        << " remove=" << fmt_time(d.remove_time) << '\n';
+    out.text("DISK id=").u32(d.id.value());
+    out.text(" model=").text(model::to_string(d.model));
+    out.text(" sys=").u32(d.system.value());
+    out.text(" shelf=").u32(d.shelf.value());
+    out.text(" group=");
+    if (d.raid_group.valid()) {
+      out.u32(d.raid_group.value());
+    } else {
+      out.ch('-');
+    }
+    out.text(" slot=").u32(d.slot);
+    out.text(" install=");
+    append_time(out, d.install_time);
+    out.text(" remove=");
+    append_time(out, d.remove_time);
+    out.newline();
   }
-  out << "END\n";
+  out.text("END\n");
+}
+
+void write_snapshot(std::ostream& out, const model::Fleet& fleet) {
+  LineWriter buf;
+  write_snapshot(buf, fleet);
+  out << buf.view();
 }
 
 Inventory inventory_from_fleet(const model::Fleet& fleet) {
@@ -135,18 +162,25 @@ Inventory inventory_from_fleet(const model::Fleet& fleet) {
   return inv;
 }
 
-SnapshotParseResult parse_snapshot(std::istream& in) {
+SnapshotParseResult parse_snapshot(std::string_view text) {
   SnapshotParseResult result;
   Inventory& inv = result.inventory;
-  std::string line;
   bool saw_header = false;
   bool saw_end = false;
 
-  auto fail = [&](const std::string& why) {
-    result.error = "snapshot line " + std::to_string(result.lines) + ": " + why;
+  auto fail = [&](std::string_view why, std::string_view detail = {}) {
+    LineWriter msg;
+    msg.text("snapshot line ").u64(result.lines).text(": ").text(why).text(detail);
+    result.error = msg.take();
   };
 
-  while (std::getline(in, line)) {
+  std::size_t pos = 0;
+  while (pos < text.size() && !saw_end && result.ok()) {
+    const auto nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, (nl == std::string_view::npos ? text.size() : nl) - pos);
+    pos = (nl == std::string_view::npos) ? text.size() : nl + 1;
+
     ++result.lines;
     if (line.empty() || line[0] == '#') continue;
     const TokenReader tokens{line};
@@ -222,9 +256,8 @@ SnapshotParseResult parse_snapshot(std::istream& in) {
                                         RaidGroupId(*group), *slot, *install, *remove});
     } else if (line == "END") {
       saw_end = true;
-      break;
     } else {
-      return fail("unrecognized record: " + line.substr(0, 32)), result;
+      return fail("unrecognized record: ", line.substr(0, 32)), result;
     }
   }
 
@@ -254,6 +287,16 @@ SnapshotParseResult parse_snapshot(std::istream& in) {
     }
   }
   return result;
+}
+
+SnapshotParseResult parse_snapshot(std::istream& in) {
+  std::string text;
+  char chunk[1 << 16];
+  while (in) {
+    in.read(chunk, sizeof(chunk));
+    text.append(chunk, static_cast<std::size_t>(in.gcount()));
+  }
+  return parse_snapshot(std::string_view(text));
 }
 
 }  // namespace storsubsim::log

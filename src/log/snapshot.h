@@ -7,13 +7,20 @@
 // install/remove times, RAID groups) as a text section and parse it back
 // into a plain `Inventory` that the analysis layer consumes — keeping the
 // analysis decoupled from the simulator's live Fleet object.
+//
+// Like the failure-log pipeline, the snapshot codec has a buffer fast path:
+// `write_snapshot(LineWriter&, ...)` appends the section to a reusable
+// buffer and `parse_snapshot(std::string_view)` walks text in place; the
+// stream forms are thin adapters over them.
 #pragma once
 
 #include <iosfwd>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "log/line_writer.h"
 #include "model/disk_model.h"
 #include "model/enums.h"
 #include "model/ids.h"
@@ -73,6 +80,10 @@ struct Inventory {
   double disk_exposure_years(const InventoryDisk& disk) const;
 };
 
+/// Appends the fleet's full inventory (including retired disk records) to a
+/// text buffer. This is the implementation; the stream overload wraps it.
+void write_snapshot(LineWriter& out, const model::Fleet& fleet);
+
 /// Serializes the fleet's full inventory (including retired disk records).
 void write_snapshot(std::ostream& out, const model::Fleet& fleet);
 
@@ -84,6 +95,10 @@ struct SnapshotParseResult {
 
   bool ok() const { return error.empty(); }
 };
+
+/// Parses a snapshot section from an in-memory buffer (no stream, no
+/// per-line copies). The result owns everything; `text` may die after.
+SnapshotParseResult parse_snapshot(std::string_view text);
 
 SnapshotParseResult parse_snapshot(std::istream& in);
 

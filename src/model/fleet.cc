@@ -217,16 +217,21 @@ double Fleet::total_disk_exposure_years() const {
   return total;
 }
 
-std::string serial_for(DiskId id) {
+std::array<char, 12> serial_chars(DiskId id) {
   // Base-36 rendering of the id, embedded in a plausible-looking serial.
   static constexpr char kAlphabet[] = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ";
   std::uint64_t v = stats::mix64(id.value() + 0x5EED);
-  std::string body(10, '0');
-  for (auto& c : body) {
-    c = kAlphabet[v % 36];
+  std::array<char, 12> out{'S', 'N'};
+  for (std::size_t i = 2; i < out.size(); ++i) {
+    out[i] = kAlphabet[v % 36];
     v /= 36;
   }
-  return "SN" + body;
+  return out;
+}
+
+std::string serial_for(DiskId id) {
+  const auto chars = serial_chars(id);
+  return std::string(chars.data(), chars.size());
 }
 
 }  // namespace storsubsim::model

@@ -5,6 +5,7 @@
 // => identical fleet). The simulator mutates it only through `replace_disk`.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -82,7 +83,10 @@ class Fleet {
 };
 
 /// Pseudo serial number for log lines, stable per disk id (the paper's logs
-/// identify disks as "S/N [3EL03PAV00007111LR8W]").
+/// identify disks as "S/N [3EL03PAV00007111LR8W]"). The character-array
+/// form is the allocation-free flavor the log emitter's hot path uses
+/// (fixed width, not NUL-terminated); `serial_for` wraps it in a string.
+std::array<char, 12> serial_chars(DiskId id);
 std::string serial_for(DiskId id);
 
 }  // namespace storsubsim::model

@@ -1,41 +1,73 @@
 #include "sim/log_bridge.h"
 
+#include <charconv>
 #include <ostream>
 #include <string>
 
+#include "log/codes.h"
 #include "log/emitter.h"
 
 namespace storsubsim::sim {
 
-std::string device_address(const model::Fleet& fleet, model::DiskId disk) {
+namespace {
+
+/// Formats "adapter.target" into a caller-provided stack buffer and returns
+/// the written view (two u32s and a dot always fit in 24 bytes).
+std::string_view format_device_address(const model::Fleet& fleet, model::DiskId disk,
+                                       std::span<char> buf) {
   const auto& record = fleet.disk(disk);
   const auto& shelf = fleet.shelf(record.shelf);
   // FC loop addressing flavor: adapter number from the shelf's position in
   // the system, target offset by 16 as in the paper's "8.24" example.
-  return std::to_string(shelf.index_in_system + 1) + "." + std::to_string(record.slot + 16);
+  char* p = buf.data();
+  char* const end = buf.data() + buf.size();
+  p = std::to_chars(p, end, shelf.index_in_system + 1).ptr;
+  *p++ = '.';
+  p = std::to_chars(p, end, record.slot + 16).ptr;
+  return std::string_view(buf.data(), static_cast<std::size_t>(p - buf.data()));
+}
+
+}  // namespace
+
+std::string device_address(const model::Fleet& fleet, model::DiskId disk) {
+  char buf[24];
+  return std::string(format_device_address(fleet, disk, buf));
+}
+
+std::size_t write_failure_logs(log::LineWriter& out, const model::Fleet& fleet,
+                               std::span<const SimFailure> failures) {
+  std::size_t lines = 0;
+  char dev_buf[24];
+  for (const auto& f : failures) {
+    storsubsim::log::FailureLineInput input;
+    input.detect_time = f.detect_time;
+    input.type = f.type;
+    input.disk = f.disk;
+    input.system = f.system;
+    input.device_address = format_device_address(fleet, f.disk, dev_buf);
+    const auto serial = model::serial_chars(f.disk);
+    input.serial = std::string_view(serial.data(), serial.size());
+    lines += storsubsim::log::emit_chain(out, input);
+  }
+  return lines;
 }
 
 std::size_t write_failure_logs(std::ostream& out, const model::Fleet& fleet,
                                std::span<const SimFailure> failures) {
-  storsubsim::log::LogEmitter emitter(out);
-  for (const auto& f : failures) {
-    storsubsim::log::EmittableFailure e;
-    e.detect_time = f.detect_time;
-    e.type = f.type;
-    e.disk = f.disk;
-    e.system = f.system;
-    e.device_address = device_address(fleet, f.disk);
-    e.serial = model::serial_for(f.disk);
-    emitter.emit(e);
-  }
-  return emitter.lines_written();
+  log::LineWriter buf;
+  const std::size_t lines = write_failure_logs(buf, fleet, failures);
+  out << buf.view();
+  return lines;
 }
 
 std::string_view code_for(PrecursorKind kind) {
   switch (kind) {
-    case PrecursorKind::kMediumError: return "disk.ioMediumError";
-    case PrecursorKind::kLinkReset: return "fci.link.reset";
-    case PrecursorKind::kCmdTimeout: return "scsi.cmd.slowCompletion";
+    case PrecursorKind::kMediumError:
+      return storsubsim::log::code_name(storsubsim::log::EventCode::kDiskIoMediumError);
+    case PrecursorKind::kLinkReset:
+      return storsubsim::log::code_name(storsubsim::log::EventCode::kFciLinkReset);
+    case PrecursorKind::kCmdTimeout:
+      return storsubsim::log::code_name(storsubsim::log::EventCode::kScsiSlowCompletion);
   }
   return "unknown";
 }

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "log/line_writer.h"
 #include "log/record.h"
 #include "model/fleet.h"
 #include "sim/precursors.h"
@@ -17,8 +18,14 @@
 
 namespace storsubsim::sim {
 
-/// Writes the propagation-chain log lines for all failures, in detection
-/// order. Returns the number of lines written.
+/// Appends the propagation-chain log lines for all failures, in detection
+/// order, to a reusable text buffer — the pipeline hot path; per-failure
+/// device address and serial are formatted on the stack, so steady-state
+/// emission performs no allocation. Returns the number of lines written.
+std::size_t write_failure_logs(log::LineWriter& out, const model::Fleet& fleet,
+                               std::span<const SimFailure> failures);
+
+/// Stream adapter over the buffer fast path (identical bytes).
 std::size_t write_failure_logs(std::ostream& out, const model::Fleet& fleet,
                                std::span<const SimFailure> failures);
 

@@ -1,0 +1,38 @@
+// StageTimer — lightweight wall-clock lap timer for pipeline observability.
+//
+// The dataset pipeline reports how long each stage (simulate, emit, parse,
+// classify, sort) took so the benches can attribute regressions to a stage
+// instead of re-bisecting the whole run. Timings are observability only:
+// they are additive outputs (never inputs), so they do not violate the
+// determinism contract — the classified dataset is byte-identical whether
+// or not anyone reads the timer.
+#pragma once
+
+namespace storsubsim::util {
+
+/// Seconds on a monotonic clock with an arbitrary epoch. Differences are
+/// meaningful; absolute values are not.
+double monotonic_seconds() noexcept;
+
+/// Measures consecutive stages: construct, run stage, call `lap()`, repeat.
+class StageTimer {
+ public:
+  StageTimer() noexcept : start_(monotonic_seconds()), last_(start_) {}
+
+  /// Seconds since the previous lap (or construction), and starts the next.
+  double lap() noexcept {
+    const double now = monotonic_seconds();
+    const double elapsed = now - last_;
+    last_ = now;
+    return elapsed;
+  }
+
+  /// Seconds since construction; does not affect laps.
+  double total() const noexcept { return monotonic_seconds() - start_; }
+
+ private:
+  double start_;
+  double last_;
+};
+
+}  // namespace storsubsim::util

@@ -1,0 +1,34 @@
+// Fixture: every per-line allocation pattern the alloc-hotpath rule must
+// catch inside the log hot path (src/log/, src/core/pipeline.cc).
+#include <sstream>
+#include <string>
+
+namespace storsubsim::fixture {
+
+std::string render_line_slow(double t, int disk) {
+  std::ostringstream os;                       // alloc-hotpath
+  os << "t=" << t << " disk=" << disk;
+  return os.str();
+}
+
+std::string format_id_slow(int disk) {
+  return std::to_string(disk);                 // alloc-hotpath
+}
+
+int parse_line_slow(const std::string& text) {
+  std::stringstream in(text);                  // alloc-hotpath
+  int v = 0;
+  in >> v;
+  return v;
+}
+
+std::string describe_slow(const std::string& dev) {
+  const std::string head = "Device " + dev;    // alloc-hotpath
+  return head + ": marked for reconstruction."; // alloc-hotpath
+}
+
+// Mentions inside comments (std::ostringstream, std::to_string, "a" + "b")
+// and strings must not trip it:
+const char* kDoc = "never write std::to_string or \"x\" + y on the hot path";
+
+}  // namespace storsubsim::fixture

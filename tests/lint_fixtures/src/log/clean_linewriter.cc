@@ -1,0 +1,40 @@
+// Fixture: the blessed hot-path idiom — reusable buffer appends, to_chars
+// numerics, project-local to_string overloads, and operator+= (an append,
+// not a temporary). Must produce zero findings.
+#include <charconv>
+#include <string>
+#include <string_view>
+
+namespace storsubsim::fixture {
+
+enum class Severity { kInfo, kError };
+
+// A project-local to_string overload is not std::to_string.
+std::string_view to_string(Severity s) {
+  return s == Severity::kInfo ? "info" : "error";
+}
+
+struct Writer {
+  std::string buf;
+  Writer& text(std::string_view s) {
+    buf.append(s);
+    return *this;
+  }
+  Writer& number(std::uint32_t v) {
+    char digits[10];
+    const auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), v);
+    (void)ec;
+    buf.append(digits, end);
+    return *this;
+  }
+};
+
+void render_line_fast(Writer& out, Severity sev, std::uint32_t disk) {
+  out.text("[").text(to_string(sev)).text("] disk=").number(disk);
+  out.buf += '\n';
+  out.buf += "# trailer";  // += appends in place; no temporary is built
+}
+
+int sum(int a, int b) { return a + b; }  // arithmetic '+' is not concatenation
+
+}  // namespace storsubsim::fixture

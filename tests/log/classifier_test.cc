@@ -3,10 +3,15 @@
 #include "log/classifier.h"
 
 #include <algorithm>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "log/emitter.h"
+#include "log/parser.h"
 
 namespace log_ns = storsubsim::log;
 namespace model = storsubsim::model;
@@ -119,4 +124,86 @@ TEST(Classifier, RepeatedDuplicatesSlideTheWindow) {
   const auto failures = log_ns::classify(records);
   ASSERT_EQ(failures.size(), 2u);
   EXPECT_DOUBLE_EQ(failures[1].time, 1300.0);
+}
+
+TEST(Classifier, ViewOverloadMatchesOwningOverload) {
+  // Emit full propagation chains (plus noise the parser skips), parse the
+  // same text through both the owning and the view path, and require the
+  // two classify overloads to agree record-for-record and stat-for-stat.
+  std::stringstream out;
+  log_ns::LogEmitter emitter(out);
+  double t = 5000.0;
+  std::uint32_t disk = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto type : model::kAllFailureTypes) {
+      log_ns::EmittableFailure f;
+      f.detect_time = t;
+      f.type = type;
+      f.disk = model::DiskId(disk);
+      f.system = model::SystemId(1 + disk % 4);
+      f.device_address = "3.17";
+      f.serial = "SN0000000000";
+      emitter.emit(f);
+      emitter.emit(f);  // whole chain repeated: terminal dedups away
+      t += 250.0;
+      ++disk;
+    }
+  }
+  std::string text = out.str();
+  text += "# comment\nconsole: unrelated chatter\n";
+
+  std::vector<log_ns::LogView> views;
+  log_ns::parse_text(text, views);
+  std::stringstream in(text);
+  std::vector<log_ns::LogRecord> records;
+  log_ns::parse_stream(in, records);
+  ASSERT_EQ(views.size(), records.size());
+
+  log_ns::ClassifierStats view_stats;
+  log_ns::ClassifierStats record_stats;
+  const auto from_views =
+      log_ns::classify(std::span<const log_ns::LogView>(views), {}, &view_stats);
+  const auto from_records = log_ns::classify(records, {}, &record_stats);
+
+  ASSERT_EQ(from_views.size(), from_records.size());
+  for (std::size_t i = 0; i < from_views.size(); ++i) {
+    EXPECT_EQ(from_views[i].time, from_records[i].time);
+    EXPECT_EQ(from_views[i].type, from_records[i].type);
+    EXPECT_EQ(from_views[i].disk, from_records[i].disk);
+    EXPECT_EQ(from_views[i].system, from_records[i].system);
+  }
+  EXPECT_EQ(view_stats.raid_records, record_stats.raid_records);
+  EXPECT_EQ(view_stats.duplicates_dropped, record_stats.duplicates_dropped);
+  EXPECT_EQ(view_stats.missing_disk_dropped, record_stats.missing_disk_dropped);
+  EXPECT_GT(from_views.size(), 0u);
+  EXPECT_GT(view_stats.duplicates_dropped, 0u);
+}
+
+TEST(Classifier, StatsArePinnedForMixedCorpus) {
+  // Exact stats over a hand-built corpus; any change in counting semantics
+  // (what is a RAID record, what dedups, what is dropped) shows up here.
+  std::vector<log_ns::LogRecord> records = {
+      raid_record(100.0, 9, model::FailureType::kDisk),
+      raid_record(150.0, 9, model::FailureType::kDisk),    // dup, 50 s later
+      raid_record(9000.0, 9, model::FailureType::kDisk),   // beyond window
+      raid_record(9100.0, 11, model::FailureType::kProtocol),
+  };
+  auto orphan = raid_record(200.0, 0, model::FailureType::kPerformance);
+  orphan.disk = model::DiskId{};
+  records.push_back(orphan);
+  log_ns::LogRecord precursor;  // below the RAID layer: not a terminal
+  precursor.time = 120.0;
+  precursor.code = "scsi.cmd.slowResponse";
+  precursor.severity = log_ns::Severity::kWarning;
+  precursor.disk = model::DiskId(9);
+  precursor.system = model::SystemId(1);
+  precursor.message = "x";
+  records.push_back(precursor);
+
+  log_ns::ClassifierStats stats;
+  const auto failures = log_ns::classify(records, {}, &stats);
+  EXPECT_EQ(failures.size(), 3u);
+  EXPECT_EQ(stats.raid_records, 5u);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+  EXPECT_EQ(stats.missing_disk_dropped, 1u);
 }

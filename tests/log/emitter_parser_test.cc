@@ -1,11 +1,16 @@
 // Emitter/parser round-trips, the Figure 3 propagation chain shape, and
 // failure injection (corrupt, truncated, foreign, reordered lines).
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "log/codes.h"
 #include "log/emitter.h"
+#include "log/line_writer.h"
 #include "log/parser.h"
 
 namespace log_ns = storsubsim::log;
@@ -141,6 +146,185 @@ TEST(LogEmitter, CountsLines) {
   EXPECT_EQ(emitter.lines_written(), 6u);
   emitter.emit(sample_failure(model::FailureType::kPerformance));
   EXPECT_EQ(emitter.lines_written(), 9u);
+}
+
+// --- golden format -----------------------------------------------------------
+// The on-wire line format is a compatibility contract (docs/FORMAT.md): these
+// lines were captured from the emitter before the zero-allocation rewrite and
+// pin the rendered bytes exactly. If one of these fails, parsers of existing
+// logs break — do not update the expectations without a format version bump.
+
+namespace {
+
+log_ns::EmittableFailure golden_failure(model::FailureType type) {
+  log_ns::EmittableFailure f;
+  f.detect_time = 123456.789;
+  f.type = type;
+  f.disk = model::DiskId(1873);
+  f.system = model::SystemId(41);
+  f.device_address = "8.24";
+  f.serial = "SN3EL03PAV00";
+  return f;
+}
+
+struct GoldenChain {
+  model::FailureType type;
+  std::vector<const char*> lines;
+};
+
+const std::vector<GoldenChain>& golden_chains() {
+  static const std::vector<GoldenChain> kChains = {
+      {model::FailureType::kDisk,
+       {"D0001 10:13:36 t=123216.789 [disk.ioMediumError:error] [sys=41 disk=1873]: "
+        "Device 8.24: medium error during read, sector remap attempted.",
+        "D0001 10:16:06 t=123366.789 [scsi.cmd.checkCondition:error] [sys=41 disk=1873]: "
+        "Device 8.24: check condition: hardware error, internal target failure.",
+        "D0001 10:17:36 t=123456.789 [raid.config.disk.failed:error] [sys=41 disk=1873]: "
+        "Disk 8.24 S/N [SN3EL03PAV00] failed; marked for reconstruction."}},
+      {model::FailureType::kPhysicalInterconnect,
+       {"D0001 10:14:50 t=123290.789 [fci.device.timeout:error] [sys=41 disk=1873]: "
+        "Adapter 8 encountered a device timeout on device 8.24",
+        "D0001 10:15:04 t=123304.789 [fci.adapter.reset:info] [sys=41 disk=1873]: "
+        "Resetting Fibre Channel adapter 8.",
+        "D0001 10:15:04 t=123304.789 [scsi.cmd.abortedByHost:error] [sys=41 disk=1873]: "
+        "Device 8.24: Command aborted by host adapter",
+        "D0001 10:15:26 t=123326.789 [scsi.cmd.selectionTimeout:error] [sys=41 disk=1873]: "
+        "Device 8.24: Adapter/target error: Targeted device did not respond to requested "
+        "I/O. I/O will be retried.",
+        "D0001 10:15:36 t=123336.789 [scsi.cmd.noMorePaths:error] [sys=41 disk=1873]: "
+        "Device 8.24: No more paths to device. All retries have failed.",
+        "D0001 10:17:36 t=123456.789 [raid.config.filesystem.disk.missing:info] "
+        "[sys=41 disk=1873]: File system Disk 8.24 S/N [SN3EL03PAV00] is missing."}},
+      {model::FailureType::kProtocol,
+       {"D0001 10:16:21 t=123381.789 [scsi.cmd.protocolViolation:error] [sys=41 disk=1873]: "
+        "Device 8.24: unexpected response for tagged command; protocol violation suspected.",
+        "D0001 10:17:06 t=123426.789 [scsi.cmd.retryExhausted:error] [sys=41 disk=1873]: "
+        "Device 8.24: command retries exhausted; responses remain inconsistent.",
+        "D0001 10:17:36 t=123456.789 [raid.disk.protocol.error:error] [sys=41 disk=1873]: "
+        "Disk 8.24 S/N [SN3EL03PAV00] visible but I/O requests are not correctly "
+        "responded."}},
+      {model::FailureType::kPerformance,
+       {"D0001 10:10:36 t=123036.789 [scsi.cmd.slowResponse:warning] [sys=41 disk=1873]: "
+        "Device 8.24: request latency exceeds service threshold.",
+        "D0001 10:14:16 t=123256.789 [scsi.cmd.slowResponse:warning] [sys=41 disk=1873]: "
+        "Device 8.24: request latency exceeds service threshold.",
+        "D0001 10:17:36 t=123456.789 [raid.disk.timeout.slow:warning] [sys=41 disk=1873]: "
+        "Disk 8.24 S/N [SN3EL03PAV00] cannot serve I/O requests in a timely manner."}},
+  };
+  return kChains;
+}
+
+}  // namespace
+
+TEST(GoldenFormat, RecordPathRendersExactBytes) {
+  for (const auto& golden : golden_chains()) {
+    const auto chain = log_ns::propagation_chain(golden_failure(golden.type));
+    ASSERT_EQ(chain.size(), golden.lines.size()) << model::to_string(golden.type);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_EQ(log_ns::render_line(chain[i]), golden.lines[i])
+          << model::to_string(golden.type) << " line " << i;
+    }
+  }
+}
+
+TEST(GoldenFormat, BufferPathRendersExactBytes) {
+  log_ns::LineWriter out;  // reused across chains, like the pipeline does
+  for (const auto& golden : golden_chains()) {
+    const auto f = golden_failure(golden.type);
+    out.clear();
+    const auto lines = log_ns::emit_chain(
+        out, log_ns::FailureLineInput{f.detect_time, f.type, f.disk, f.system,
+                                      f.device_address, f.serial});
+    EXPECT_EQ(lines, golden.lines.size());
+    std::string expected;
+    for (const char* line : golden.lines) {
+      expected += line;
+      expected += '\n';
+    }
+    EXPECT_EQ(out.view(), expected) << model::to_string(golden.type);
+  }
+}
+
+// --- attribute keys anchor at token boundaries -------------------------------
+
+TEST(ParseLine, AttributeKeysDoNotMatchInsideLongerKeys) {
+  // "sys=" must not match the tail of "subsys=", nor "disk=" the tail of
+  // "mydisk=" (regression: the parser used to take the first substring hit).
+  const auto parsed = log_ns::parse_line(
+      "D0000 00:00:05 t=5.0 [c:error] [subsys=9 sys=1 mydisk=7 disk=2]: m");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->system, model::SystemId(1));
+  EXPECT_EQ(parsed->disk, model::DiskId(2));
+}
+
+TEST(ParseLine, SuffixOnlyAttributeKeysAreMissingAttributes) {
+  // With only "subsys="/"mydisk=" present, the record has no sys/disk
+  // attributes at all and must be rejected, not silently misread.
+  EXPECT_FALSE(log_ns::parse_line(
+      "D0000 00:00:05 t=5.0 [c:error] [subsys=9 mydisk=7]: m").has_value());
+}
+
+TEST(ParseLine, MalformedAttributeValuesAreRejected) {
+  EXPECT_FALSE(log_ns::parse_line(
+      "D0000 00:00:05 t=5.0 [c:error] [sys= disk=2]: m").has_value());
+  EXPECT_FALSE(log_ns::parse_line(
+      "D0000 00:00:05 t=5.0 [c:error] [sys=x disk=2]: m").has_value());
+}
+
+// --- view-based fast path ----------------------------------------------------
+
+TEST(ParseText, MatchesParseStreamExactly) {
+  std::stringstream stream_text;
+  log_ns::LogEmitter emitter(stream_text);
+  for (const auto type : model::kAllFailureTypes) emitter.emit(sample_failure(type));
+  std::string text = stream_text.str();
+  text += "# comment\nconsole: noise\nD0000 00:00:01 t=5.0 [c:fatal] [sys=1 disk=2]: bad\n";
+
+  std::vector<log_ns::LogView> views;
+  const auto view_stats = log_ns::parse_text(text, views);
+  std::stringstream in(text);
+  std::vector<log_ns::LogRecord> records;
+  const auto record_stats = log_ns::parse_stream(in, records);
+
+  EXPECT_EQ(view_stats.lines_total, record_stats.lines_total);
+  EXPECT_EQ(view_stats.lines_parsed, record_stats.lines_parsed);
+  EXPECT_EQ(view_stats.lines_skipped, record_stats.lines_skipped);
+  EXPECT_EQ(view_stats.lines_malformed, record_stats.lines_malformed);
+  ASSERT_EQ(views.size(), records.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i].time, records[i].time);
+    EXPECT_EQ(views[i].code, records[i].code);
+    EXPECT_EQ(views[i].severity, records[i].severity);
+    EXPECT_EQ(views[i].disk, records[i].disk);
+    EXPECT_EQ(views[i].system, records[i].system);
+    EXPECT_EQ(views[i].message, records[i].message);
+    // The interned id round-trips to the same code spelling.
+    EXPECT_EQ(log_ns::code_name(views[i].code_id), views[i].code);
+  }
+}
+
+TEST(ParseText, ViewsAliasTheSourceBuffer) {
+  const std::string text =
+      "D0000 00:00:05 t=5.0 [raid.config.disk.failed:error] [sys=1 disk=2]: gone\n";
+  std::vector<log_ns::LogView> views;
+  log_ns::parse_text(text, views);
+  ASSERT_EQ(views.size(), 1u);
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  EXPECT_TRUE(views[0].code.data() >= begin && views[0].code.data() < end);
+  EXPECT_TRUE(views[0].message.data() >= begin && views[0].message.data() < end);
+  EXPECT_EQ(views[0].code_id, log_ns::EventCode::kRaidDiskFailed);
+}
+
+TEST(ParseText, LineSplittingMatchesGetlineSemantics) {
+  std::vector<log_ns::LogView> views;
+  EXPECT_EQ(log_ns::parse_text("", views).lines_total, 0u);
+  EXPECT_EQ(log_ns::parse_text("\n", views).lines_total, 1u);    // one empty line
+  EXPECT_EQ(log_ns::parse_text("# c", views).lines_total, 1u);   // no trailing \n
+  EXPECT_EQ(log_ns::parse_text("# c\n", views).lines_total, 1u); // trailing \n adds none
+  const auto stats = log_ns::parse_text("# a\n\n# b", views);
+  EXPECT_EQ(stats.lines_total, 3u);
+  EXPECT_EQ(stats.lines_skipped, 3u);
 }
 
 TEST(RenderTimestamp, DayAndTimeOfDay) {

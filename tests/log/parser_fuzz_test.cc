@@ -133,3 +133,59 @@ TEST(SnapshotFuzz, CorruptSnapshotsRejectedOrConsistent) {
     }
   }
 }
+
+TEST(ParseTextFuzz, BufferAndStreamPathsAgreeUnderCorruption) {
+  // Mutated multi-line buffers: the view path must never crash, its stats
+  // must partition the input, and the owning path (which adapts the same
+  // core) must agree byte-for-byte on what parsed and what did not.
+  Rng rng(777);
+  const auto seeds = seed_lines();
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string text;
+    const auto lines = 1 + rng.below(12);
+    for (std::uint64_t i = 0; i < lines; ++i) {
+      text += seeds[rng.below(seeds.size())];
+      text += '\n';
+    }
+    const auto mutations = rng.below(6);
+    for (std::uint64_t m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t pos = static_cast<std::size_t>(rng.below(text.size()));
+      switch (rng.below(3)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.below(256));
+          break;
+        case 1:
+          text.erase(pos, rng.below(16) + 1);
+          break;
+        default:
+          text.insert(pos, 1, static_cast<char>(rng.below(256)));
+          break;
+      }
+    }
+
+    std::vector<log_ns::LogView> views;
+    const auto view_stats = log_ns::parse_text(text, views);
+    EXPECT_EQ(view_stats.lines_parsed + view_stats.lines_skipped +
+                  view_stats.lines_malformed,
+              view_stats.lines_total);
+
+    std::stringstream in(text);
+    std::vector<log_ns::LogRecord> records;
+    const auto record_stats = log_ns::parse_stream(in, records);
+    EXPECT_EQ(view_stats.lines_total, record_stats.lines_total);
+    EXPECT_EQ(view_stats.lines_parsed, record_stats.lines_parsed);
+    EXPECT_EQ(view_stats.lines_skipped, record_stats.lines_skipped);
+    EXPECT_EQ(view_stats.lines_malformed, record_stats.lines_malformed);
+    ASSERT_EQ(views.size(), records.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      // Plain == except when corruption smuggled in a "nan" literal.
+      EXPECT_TRUE(views[i].time == records[i].time ||
+                  (std::isnan(views[i].time) && std::isnan(records[i].time)));
+      EXPECT_EQ(views[i].code, records[i].code);
+      EXPECT_EQ(views[i].message, records[i].message);
+      EXPECT_EQ(views[i].disk, records[i].disk);
+      EXPECT_EQ(views[i].system, records[i].system);
+      EXPECT_EQ(views[i].code_id, log_ns::code_id(views[i].code));
+    }
+  }
+}

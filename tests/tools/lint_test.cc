@@ -187,6 +187,57 @@ TEST(HeaderHygieneRule, SourcesAreNotHeldToHeaderRules) {
   EXPECT_TRUE(lint::lint_source("src/foo.cc", "int f() { return 1; }\n").findings.empty());
 }
 
+// --- rule: alloc-hotpath ------------------------------------------------------
+
+TEST(AllocHotpathRule, FlagsStreamsStdToStringAndLiteralConcat) {
+  const auto report = lint_fixture("src/log/bad_alloc_hotpath.cc");
+  EXPECT_EQ(count_rule(report, lint::Rule::kAllocHotpath), 5u);
+  EXPECT_EQ(report.findings.size(), 5u);
+}
+
+TEST(AllocHotpathRule, LineWriterIdiomIsClean) {
+  EXPECT_TRUE(lint_fixture("src/log/clean_linewriter.cc").findings.empty());
+}
+
+TEST(AllocHotpathRule, ProjectToStringOverloadsAreNotFlagged) {
+  // The log layer's own to_string(Severity) must not be confused with
+  // std::to_string — only the std-qualified call allocates a temporary.
+  const std::string snippet =
+      "namespace sev { enum class Severity { kInfo }; const char* to_string(Severity); }\n"
+      "const char* f() { return sev::to_string(sev::Severity::kInfo); }\n"
+      "const char* g(sev::Severity s) { return to_string(s); }\n";
+  EXPECT_TRUE(lint::lint_source("src/log/record.cc", snippet).findings.empty());
+  const std::string std_call =
+      "#include <string>\nstd::string h(int v) { return std::to_string(v); }\n";
+  EXPECT_EQ(lint::lint_source("src/log/record.cc", std_call).findings.size(), 1u);
+}
+
+TEST(AllocHotpathRule, ScopedToLogLayerAndPipelineOnly) {
+  const std::string snippet =
+      "#include <sstream>\n"
+      "std::string f(int v) { std::ostringstream os; os << v; return os.str(); }\n";
+  EXPECT_EQ(lint::lint_source("src/log/emitter.cc", snippet).findings.size(), 1u);
+  EXPECT_EQ(lint::lint_source("src/core/pipeline.cc", snippet).findings.size(), 1u);
+  EXPECT_TRUE(lint::lint_source("src/core/afr.cc", snippet).findings.empty())
+      << "cold analysis code may use streams";
+  EXPECT_TRUE(lint::lint_source("bench/parallel_baseline.cc", snippet).findings.empty())
+      << "bench code may use streams";
+  EXPECT_TRUE(lint::lint_source("tests/log/emitter_parser_test.cc", snippet).findings.empty())
+      << "test code may use streams";
+}
+
+TEST(AllocHotpathRule, AppendAssignAndArithmeticPlusAreClean) {
+  const std::string snippet =
+      "#include <string>\n"
+      "void f(std::string& buf, int a, int b) {\n"
+      "  buf += \"chunk\";\n"
+      "  int c = a + b;\n"
+      "  ++c;\n"
+      "  (void)c;\n"
+      "}\n";
+  EXPECT_TRUE(lint::lint_source("src/log/emitter.cc", snippet).findings.empty());
+}
+
 // --- baselines --------------------------------------------------------------
 
 TEST(Baseline, RoundTripSilencesAcceptedFindings) {
@@ -256,6 +307,7 @@ TEST(CollectSources, ExplicitlyNamedFixtureFilesAreLinted) {
 TEST(Cli, ExitsNonzeroOnEveryViolatingFixture) {
   for (const char* bad : {"src/bad_nondeterminism.cc", "src/bad_unordered_iter.cc",
                           "src/bad_rng_discipline.cc", "src/bad_suppression.cc",
+                          "src/log/bad_alloc_hotpath.cc",
                           "include/bad_missing_guard.h", "include/bad_using_namespace.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(bad)), 1) << bad;
   }
@@ -264,8 +316,8 @@ TEST(Cli, ExitsNonzeroOnEveryViolatingFixture) {
 TEST(Cli, ExitsZeroOnCleanFixtures) {
   for (const char* good :
        {"src/clean_deterministic.cc", "src/clean_unordered_lookup.cc",
-        "src/allowed_unordered_iter.cc", "bench/timing_uses_clock.cc",
-        "include/clean_header.h"}) {
+        "src/allowed_unordered_iter.cc", "src/log/clean_linewriter.cc",
+        "bench/timing_uses_clock.cc", "include/clean_header.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(good)), 0) << good;
   }
 }

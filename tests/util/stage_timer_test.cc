@@ -1,0 +1,45 @@
+// StageTimer: the observability-only wall-clock used for per-stage pipeline
+// timing. Values are reported, never fed back into simulation, so the tests
+// only pin the algebra: laps are non-negative, reset on read, and bounded by
+// the total.
+#include "util/stage_timer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace util = storsubsim::util;
+
+TEST(MonotonicSeconds, NeverDecreases) {
+  double prev = util::monotonic_seconds();
+  for (int i = 0; i < 1000; ++i) {
+    const double now = util::monotonic_seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(StageTimer, LapsAreNonNegativeAndBoundedByTotal) {
+  util::StageTimer timer;
+  double sum = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double lap = timer.lap();
+    EXPECT_TRUE(std::isfinite(lap));
+    EXPECT_GE(lap, 0.0);
+    sum += lap;
+  }
+  const double total = timer.total();
+  EXPECT_TRUE(std::isfinite(total));
+  // Every lap interval is inside [start, now], so their sum cannot exceed
+  // the total elapsed time (tiny epsilon for float accumulation).
+  EXPECT_LE(sum, total + 1e-9);
+}
+
+TEST(StageTimer, LapResetsButTotalAccumulates) {
+  util::StageTimer timer;
+  (void)timer.lap();
+  const double total_after_first = timer.total();
+  (void)timer.lap();
+  const double total_after_second = timer.total();
+  EXPECT_GE(total_after_second, total_after_first);
+}

@@ -402,6 +402,9 @@ class FileLinter {
     }
     if (!in_stats) check_rng_discipline();
     if (is_header(path_)) check_header_hygiene();
+    const bool in_log_hotpath = (in_src && has_segment(path_, "log")) ||
+                                ends_with_path(path_, "src/core/pipeline.cc");
+    if (in_log_hotpath) check_alloc_hotpath();
     return finish();
   }
 
@@ -434,6 +437,65 @@ class FileLinter {
         break;
       }
     });
+  }
+
+  /// True when the identifier token is reached through a `std::` qualifier
+  /// (project-local overloads of the same name are fine).
+  bool is_std_qualified(const Token& tok) const {
+    const std::string_view code = stripped_.code;
+    std::size_t at = 0;
+    if (prev_nonspace(code, tok.begin, &at) != ':' || at == 0 || code[at - 1] != ':') {
+      return false;
+    }
+    std::size_t b = at - 1;
+    while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1])) != 0) --b;
+    std::size_t s = b;
+    while (s > 0 && is_ident_char(code[s - 1])) --s;
+    return code.substr(s, b - s) == "std";
+  }
+
+  // The emit/parse hot path (src/log/, src/core/pipeline.cc) promises
+  // steady-state zero allocation (docs/performance.md): every line is built
+  // in a reusable log::LineWriter and parsed as views into a retained
+  // buffer. This check refuses the per-line allocation patterns the
+  // refactor removed, so they cannot creep back in.
+  void check_alloc_hotpath() {
+    const std::string_view code = stripped_.code;
+    for_each_identifier(code, [&](const Token& tok) {
+      if (is_member_access(code, tok)) return;
+      if (tok.text == "ostringstream" || tok.text == "stringstream" ||
+          tok.text == "istringstream") {
+        add(tok.begin, Rule::kAllocHotpath,
+            std::string(tok.text) +
+                " allocates per use on the log hot path; append into a reusable "
+                "log::LineWriter (emit) or parse views from a retained buffer (parse)");
+        return;
+      }
+      if (tok.text == "to_string" && is_std_qualified(tok) &&
+          next_nonspace(code, tok.end) == '(') {
+        add(tok.begin, Rule::kAllocHotpath,
+            "std::to_string materializes a temporary string per number on the log hot "
+            "path; use log::LineWriter::u64/fixed3 (std::to_chars) instead");
+      }
+    });
+    // String-literal operator+: a real '+' in stripped code (literal/comment
+    // bytes are blanked 1:1, offsets preserved) whose nearest raw-source
+    // neighbor on either side is a double quote.
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] != '+') continue;
+      if (i + 1 < code.size() && (code[i + 1] == '+' || code[i + 1] == '=')) {
+        ++i;  // skip ++ / +=
+        continue;
+      }
+      if (i > 0 && code[i - 1] == '+') continue;
+      const char before = prev_nonspace(src_, i);
+      const char after = next_nonspace(src_, i + 1);
+      if (before == '"' || after == '"') {
+        add(i, Rule::kAllocHotpath,
+            "string-literal operator+ builds a temporary per concatenation on the log "
+            "hot path; append the pieces into a reusable log::LineWriter");
+      }
+    }
   }
 
   void check_rng_discipline() {
@@ -695,6 +757,7 @@ std::string_view rule_name(Rule rule) noexcept {
     case Rule::kUnorderedIter: return "unordered-iter";
     case Rule::kRngDiscipline: return "rng-discipline";
     case Rule::kHeaderHygiene: return "header-hygiene";
+    case Rule::kAllocHotpath: return "alloc-hotpath";
     case Rule::kBadSuppression: return "bad-suppression";
   }
   return "unknown";

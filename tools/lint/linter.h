@@ -14,6 +14,10 @@
 //                     randomness must flow through stats/rng.h keyed streams
 //   header-hygiene  — headers need #pragma once (or a guard) and must not
 //                     contain using-namespace directives
+//   alloc-hotpath   — per-line allocation patterns (std::ostringstream /
+//                     std::stringstream, std::to_string, string-literal
+//                     operator+) inside the log hot path (src/log/ and
+//                     src/core/pipeline.cc); format through log::LineWriter
 //
 // Intentional exceptions are either annotated inline,
 //
@@ -38,12 +42,13 @@ enum class Rule {
   kUnorderedIter,
   kRngDiscipline,
   kHeaderHygiene,
+  kAllocHotpath,
   kBadSuppression,
 };
 
 inline constexpr Rule kAllRules[] = {Rule::kNondeterminism, Rule::kUnorderedIter,
                                      Rule::kRngDiscipline, Rule::kHeaderHygiene,
-                                     Rule::kBadSuppression};
+                                     Rule::kAllocHotpath, Rule::kBadSuppression};
 
 std::string_view rule_name(Rule rule) noexcept;
 std::optional<Rule> rule_from_name(std::string_view name) noexcept;

@@ -9,7 +9,10 @@
 #   3. storsim_lint --check over src/ bench/ tests/ (redundant with the ctest
 #      gate, but run standalone so its report is printed even when ctest is
 #      filtered down with extra args)
-#   4. clang-tidy over src/ when available (the container may not ship it;
+#   4. pipeline_throughput smoke at --scale=0.05: asserts the fast log path
+#      and the legacy baseline stay byte-identical (speedups are measured at
+#      full scale separately; see docs/performance.md)
+#   5. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
@@ -17,17 +20,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] configure + build =="
+echo "== [1/5] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/4] ctest =="
+echo "== [2/5] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/4] storsim_lint =="
+echo "== [3/5] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 
-echo "== [4/4] clang-tidy =="
+echo "== [4/5] pipeline_throughput smoke =="
+./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
+  --out=build/BENCH_pipeline_smoke.json
+
+echo "== [5/5] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.

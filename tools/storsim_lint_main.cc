@@ -24,7 +24,8 @@ int usage(const char* argv0) {
                "usage: %s [options] <file-or-dir>...\n"
                "\n"
                "Static determinism & hygiene checks for the storsubsim tree.\n"
-               "Rules: nondeterminism, unordered-iter, rng-discipline, header-hygiene.\n"
+               "Rules: nondeterminism, unordered-iter, rng-discipline, header-hygiene,\n"
+               "       alloc-hotpath.\n"
                "\n"
                "  --check                 report findings, exit 1 if any (default)\n"
                "  --baseline FILE         ignore findings recorded in FILE\n"
