@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -10,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/store_bridge.h"
+#include "store/reader.h"
 #include "util/parallel.h"
 
 namespace storsubsim::bench {
@@ -29,6 +32,8 @@ Options parse_options(int& argc, char** argv) {
       options.seed = std::stoull(std::string(arg.substr(7)));
     } else if (arg.starts_with("--threads=")) {
       options.threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
+    } else if (arg.starts_with("--store=")) {
+      options.store = std::string(arg.substr(8));
     } else {
       argv[out++] = argv[i];  // leave for google-benchmark
     }
@@ -39,6 +44,26 @@ Options parse_options(int& argc, char** argv) {
 }
 
 const core::SimulationDataset& standard_dataset(const Options& options) {
+  if (!options.store.empty()) {
+    // Prebuilt-store fast path: mmap + rehydrate instead of simulating.
+    // Cached on path so repeated report sections don't re-open the file.
+    static std::mutex store_mutex;
+    static std::string store_path;
+    static std::unique_ptr<core::SimulationDataset> store_dataset;
+    std::lock_guard<std::mutex> lock(store_mutex);
+    if (!store_dataset || store_path != options.store) {
+      store::EventStore es;
+      if (const auto err = es.open(options.store); !err.ok()) {
+        std::cerr << "cannot open store " << options.store << ": " << err.describe() << "\n";
+        std::exit(1);
+      }
+      store_dataset = std::make_unique<core::SimulationDataset>(
+          core::simulation_dataset_from_store(es));
+      store_path = options.store;
+    }
+    return *store_dataset;
+  }
+
   using Key = std::pair<double, std::uint64_t>;
   struct Entry {
     Key key;

@@ -15,6 +15,9 @@
 //                          bootstrap (default: STORSIM_THREADS env, else
 //                          hardware concurrency; results are identical for
 //                          any value — see docs/performance.md)
+//   --store=<path>         load the dataset from a prebuilt columnar store
+//                          (see docs/STORE.md) instead of simulating;
+//                          --scale/--seed are ignored for the report
 //   --csv                  print tables as CSV instead of aligned text
 #pragma once
 
@@ -32,6 +35,7 @@ struct Options {
   double scale = 1.0;
   std::uint64_t seed = 20080226;
   unsigned threads = 0;  ///< 0 = auto (env var / hardware concurrency)
+  std::string store;     ///< non-empty: mmap this store file, skip simulation
   bool run_benchmarks = true;
   bool csv = false;
 };

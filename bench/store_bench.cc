@@ -1,0 +1,181 @@
+// Columnar store rerun cost: "simulate once, analyze many" quantified.
+//
+// Measures the three costs the store trades between (docs/STORE.md):
+//
+//   * pipeline — the full simulate -> emit -> parse -> classify path that a
+//     `--report-only` rerun used to pay every time;
+//   * build    — serializing the finished run into a store file (paid once);
+//   * rerun    — mmap the store, decode the time columns, and answer the
+//     whole-fleet AFR breakdown plus a grouped query (paid per reanalysis).
+//
+// The store-backed breakdown must match the in-memory pipeline's breakdown
+// bit for bit, and the query's per-type counts must match the classifier's —
+// the program exits nonzero otherwise, so the speedup is apples-to-apples.
+// Results go to BENCH_store.json.
+//
+//   store_bench [--scale=<f>] [--seed=<n>] [--repeat=<n>] [--threads=<n>]
+//               [--store=<path>] [--out=<path>]
+//
+// --repeat keeps the fastest of n runs per stage (min-of-N). --store names
+// the store file written during the run (default: a file next to the json).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/afr.h"
+#include "core/pipeline.h"
+#include "core/store_bridge.h"
+#include "model/fleet_config.h"
+#include "store/query.h"
+#include "store/reader.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace storsubsim;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool same_breakdown(const std::vector<core::AfrBreakdown>& a,
+                    const std::vector<core::AfrBreakdown>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].events != b[i].events ||
+        a[i].disk_years != b[i].disk_years) {  // exact FP compare — intentional
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::uint64_t seed = 20080226;
+  int repeat = 3;
+  unsigned threads = 0;
+  std::string out_path = "BENCH_store.json";
+  std::string store_path = "BENCH_store.store";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--scale=")) {
+      scale = std::stod(std::string(arg.substr(8)));
+    } else if (arg.starts_with("--seed=")) {
+      seed = std::stoull(std::string(arg.substr(7)));
+    } else if (arg.starts_with("--repeat=")) {
+      repeat = static_cast<int>(std::stoul(std::string(arg.substr(9))));
+    } else if (arg.starts_with("--threads=")) {
+      threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
+    } else if (arg.starts_with("--store=")) {
+      store_path = std::string(arg.substr(8));
+    } else if (arg.starts_with("--out=")) {
+      out_path = std::string(arg.substr(6));
+    }
+  }
+  if (repeat < 1) repeat = 1;
+  util::set_thread_count(threads);
+
+  // The cost a store-less rerun pays: the full text-log pipeline.
+  double t0 = now_seconds();
+  const auto run = core::simulate_and_analyze(model::standard_fleet_config(scale, seed));
+  const double pipeline_seconds = now_seconds() - t0;
+  std::cout << "scale " << scale << ": " << run.dataset.events().size() << " failures, "
+            << run.dataset.inventory().disks.size() << " disk records ("
+            << pipeline_seconds << " s full pipeline)\n";
+  const auto reference = core::afr_by_class(run.dataset);
+
+  // Build cost (paid once per simulation).
+  double build_seconds = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    t0 = now_seconds();
+    const auto err = core::write_store(store_path, run, seed, scale);
+    const double elapsed = now_seconds() - t0;
+    if (!err.ok()) {
+      std::cerr << "FAIL: cannot write store: " << err.describe() << "\n";
+      return 1;
+    }
+    if (r == 0 || elapsed < build_seconds) build_seconds = elapsed;
+  }
+  std::uint64_t file_bytes = 0;
+  {
+    std::ifstream in(store_path, std::ios::binary | std::ios::ate);
+    file_bytes = static_cast<std::uint64_t>(in.tellg());
+  }
+
+  // Rerun cost (paid per reanalysis): cold open + the whole-fleet AFR
+  // breakdown + a grouped full-scan query. Each repeat re-opens the file so
+  // header/footer validation, CRCs and time-column decoding are all counted.
+  double rerun_seconds = 0.0;
+  std::vector<core::AfrBreakdown> store_breakdown;
+  store::QueryResult grouped;
+  for (int r = 0; r < repeat; ++r) {
+    t0 = now_seconds();
+    store::EventStore es;
+    if (const auto err = es.open(store_path); !err.ok()) {
+      std::cerr << "FAIL: cannot open store: " << err.describe() << "\n";
+      return 1;
+    }
+    auto breakdown = core::afr_by_class(es);
+    store::Query query;
+    query.group_by = store::Query::GroupBy::kSystemClass;
+    auto result = store::run_query(es, query);
+    const double elapsed = now_seconds() - t0;
+    if (r == 0 || elapsed < rerun_seconds) rerun_seconds = elapsed;
+    if (r == 0) {
+      store_breakdown = std::move(breakdown);
+      grouped = std::move(result);
+    }
+  }
+  util::set_thread_count(0);
+
+  // Fidelity gates: the mmap path must reproduce the in-memory results
+  // exactly, and the query counts must agree with both.
+  const bool breakdown_identical = same_breakdown(reference, store_breakdown);
+  bool query_identical = grouped.groups.size() == reference.size();
+  if (query_identical) {
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const auto& g = grouped.groups[i];
+      if (g.label != reference[i].label || g.disk_years != reference[i].disk_years) {
+        query_identical = false;
+        break;
+      }
+      for (std::size_t type = 0; type < 4; ++type) {
+        if (g.events_by_type[type] != reference[i].events[type]) query_identical = false;
+      }
+    }
+  }
+  const double speedup = rerun_seconds > 0.0 ? pipeline_seconds / rerun_seconds : 0.0;
+
+  std::cout << "store: " << file_bytes << " bytes, build " << build_seconds
+            << " s, mmap+query rerun " << rerun_seconds << " s\n"
+            << "rerun speedup over full pipeline: " << speedup << "x\n"
+            << "AFR breakdown " << (breakdown_identical ? "bit-identical" : "MISMATCH")
+            << ", query counts " << (query_identical ? "identical" : "MISMATCH") << "\n";
+
+  std::ofstream out(out_path);
+  out << "{\n  \"benchmark\": \"store_rerun\",\n"
+      << "  \"scale\": " << scale << ",\n  \"seed\": " << seed
+      << ",\n  \"repeat\": " << repeat << ",\n"
+      << "  \"events\": " << run.dataset.events().size()
+      << ",\n  \"disk_records\": " << run.dataset.inventory().disks.size() << ",\n"
+      << "  \"store_bytes\": " << file_bytes << ",\n"
+      << "  \"pipeline_seconds\": " << pipeline_seconds << ",\n"
+      << "  \"store_build_seconds\": " << build_seconds << ",\n"
+      << "  \"rerun_open_query_seconds\": " << rerun_seconds << ",\n"
+      << "  \"rerun_speedup\": " << speedup << ",\n"
+      << "  \"breakdown_identical\": " << (breakdown_identical ? "true" : "false") << ",\n"
+      << "  \"query_identical\": " << (query_identical ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  return (breakdown_identical && query_identical) ? 0 : 1;
+}

@@ -1,6 +1,6 @@
 // Log forensics: work with the AutoSupport-style text logs directly.
 //
-//   $ ./build/examples/log_forensics
+//   $ ./build/examples/log_forensics [fleet.store]
 //
 // Scenario: a support engineer receives raw storage logs — including noise
 // from other subsystems and lines mangled in transit — and needs to answer
@@ -8,15 +8,21 @@
 //   1. renders the paper's Figure 3 propagation chain for each failure type,
 //   2. corrupts the stream (foreign lines, truncation, duplicate replay),
 //   3. parses + classifies it back and prints the recovered failure ledger.
+//
+// Given a prebuilt columnar store (storsubsim store build, docs/STORE.md),
+// the ledger section reads the archived failures from the store instead of
+// replaying synthetic logs — the same forensics over a whole recorded fleet.
 #include <iostream>
 #include <sstream>
 
 #include "core/report.h"
+#include "core/store_bridge.h"
 #include "log/classifier.h"
 #include "log/emitter.h"
 #include "log/parser.h"
 #include "model/enums.h"
 #include "model/fleet.h"
+#include "store/reader.h"
 
 using namespace storsubsim;
 
@@ -33,9 +39,48 @@ log::EmittableFailure make_failure(double t, model::FailureType type, std::uint3
   return f;
 }
 
+/// Forensics over an archived run: print the fleet-wide ledger summary
+/// straight from a mapped store file. Returns false if the file will not
+/// open (the caller falls back to the synthetic-log walkthrough).
+bool ledger_from_store(const char* path) {
+  store::EventStore es;
+  if (const auto err = es.open(path); !err.ok()) {
+    std::cerr << "cannot open store " << path << ": " << err.describe()
+              << "\nfalling back to the synthetic-log walkthrough\n\n";
+    return false;
+  }
+  std::cout << "Archived run from " << path << " (seed " << es.header().seed
+            << ", scale " << es.header().scale << "): " << es.event_count()
+            << " classified failures over " << es.header().disk_count
+            << " disk records.\n\nFirst ten entries of the recovered ledger:\n";
+  const auto dataset = core::dataset_from_store(es);
+  core::TextTable table({"detected at (s)", "disk", "failure type", "class"});
+  std::size_t shown = 0;
+  for (const auto& f : dataset.events()) {
+    if (++shown > 10) break;
+    table.add_row({core::fmt(f.time, 0), std::to_string(f.disk.value()),
+                   std::string(model::to_string(f.type)),
+                   std::string(model::to_string(dataset.system_of(f).cls))});
+  }
+  table.print(std::cout);
+  core::TextTable tally({"failure type", "events"});
+  for (const auto type : model::kAllFailureTypes) {
+    std::size_t n = 0;
+    for (const auto& f : dataset.events()) {
+      if (f.type == type) ++n;
+    }
+    tally.add_row({std::string(model::to_string(type)), std::to_string(n)});
+  }
+  std::cout << "\nFleet-wide breakdown:\n";
+  tally.print(std::cout);
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc > 1 && ledger_from_store(argv[1])) return 0;
+
   // --- 1. What a failure looks like in the logs -----------------------------
   std::cout << "A physical interconnect failure propagating from the Fibre Channel\n"
                "layer up to the RAID layer (the shape of the paper's Figure 3):\n\n";

@@ -9,6 +9,13 @@
 // Each choice is evaluated by simulating a candidate cohort and comparing
 // AFR, burstiness and statistical significance — the quantitative version of
 // the paper's design guidance (Findings 6, 7, 9).
+//
+//   $ ./build/examples/reliability_planner [fleet.store]
+//
+// The opening baseline ("what does the installed fleet look like today?")
+// loads from a prebuilt columnar store when one is given — mmap + query,
+// milliseconds (docs/STORE.md) — and falls back to simulating a reduced
+// standard fleet otherwise.
 #include <iostream>
 
 #include "core/afr.h"
@@ -16,7 +23,10 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "core/significance.h"
+#include "core/store_bridge.h"
+#include "model/fleet_config.h"
 #include "sim/scenario.h"
+#include "store/reader.h"
 
 using namespace storsubsim;
 
@@ -41,9 +51,40 @@ core::Dataset simulate(const model::CohortSpec& cohort, std::uint64_t seed) {
   return core::dataset_in_memory(fs.fleet, fs.result);
 }
 
+void print_baseline(const std::vector<core::AfrBreakdown>& by_class, const char* source) {
+  std::cout << "Installed-fleet baseline (" << source << "):\n";
+  core::TextTable t({"class", "disk AFR", "subsystem AFR"});
+  for (const auto& b : by_class) {
+    t.add_row({b.label, core::fmt(b.afr_pct(model::FailureType::kDisk), 2) + "%",
+               core::fmt(b.total_afr_pct(), 2) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+/// Planning starts from "what does the installed fleet look like today?".
+/// Given a prebuilt columnar store that is a mmap + query (milliseconds);
+/// otherwise simulate a reduced standard fleet as a stand-in.
+void fleet_baseline(int argc, char** argv) {
+  if (argc > 1) {
+    store::EventStore es;
+    if (const auto err = es.open(argv[1]); err.ok()) {
+      print_baseline(core::afr_by_class(es), argv[1]);
+      return;
+    } else {
+      std::cerr << "cannot open store " << argv[1] << ": " << err.describe()
+                << "\nfalling back to a simulated baseline\n";
+    }
+  }
+  const auto run = core::simulate_and_analyze(model::standard_fleet_config(0.1, 20080226));
+  print_baseline(core::afr_by_class(run.dataset), "simulated, --scale=0.1");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  fleet_baseline(argc, argv);
+
   std::cout << "Deployment: 4,000 mid-range systems, Disk D-2, 6 shelves x 12 disks.\n\n";
 
   // --- (a) single vs dual paths ---------------------------------------------

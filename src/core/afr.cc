@@ -55,6 +55,37 @@ AfrBreakdown compute_afr(const Dataset& dataset, std::string label) {
   return accumulate(dataset, std::move(label));
 }
 
+AfrBreakdown compute_afr(const store::EventView& events, double disk_years,
+                         std::string label) {
+  AfrBreakdown b;
+  b.label = std::move(label);
+  b.disk_years = disk_years;
+  for (const auto type : events.type) ++b.events[type];
+  return b;
+}
+
+AfrBreakdown compute_afr(const store::EventStore& store, std::string label) {
+  AfrBreakdown b;
+  b.label = std::move(label);
+  b.disk_years = store.exposure().total_disk_years;
+  for (const auto cls : model::kAllSystemClasses) {
+    for (const auto type : store.events(cls).type) ++b.events[type];
+  }
+  return b;
+}
+
+std::vector<AfrBreakdown> afr_by_class(const store::EventStore& store) {
+  std::vector<AfrBreakdown> out;
+  for (const auto cls : model::kAllSystemClasses) {
+    const std::size_t c = model::index_of(cls);
+    if (store.exposure().class_system_count[c] == 0) continue;  // empty cohort
+    out.push_back(compute_afr(store.events(cls),
+                              store.exposure().class_disk_years[c],
+                              std::string(model::to_string(cls))));
+  }
+  return out;
+}
+
 std::vector<AfrBreakdown> afr_by_class(const Dataset& dataset) {
   std::vector<AfrBreakdown> out;
   for (const auto cls : model::kAllSystemClasses) {

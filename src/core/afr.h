@@ -12,6 +12,7 @@
 
 #include "core/dataset.h"
 #include "stats/intervals.h"
+#include "store/reader.h"
 
 namespace storsubsim::core {
 
@@ -36,6 +37,24 @@ AfrBreakdown compute_afr(const Dataset& dataset, std::string label = {});
 
 /// AFR broken down by system class (paper Figure 4).
 std::vector<AfrBreakdown> afr_by_class(const Dataset& dataset);
+
+// --- store-backed overloads -------------------------------------------------
+// The mmap fast path: counts come straight from the store's column spans and
+// the disk-year denominator from its pre-computed exposure table, which the
+// writer accumulated in the same order as Dataset::disk_exposure_years —
+// results are bit-identical to the in-memory path, without touching the
+// simulate -> emit -> parse -> classify pipeline.
+
+/// AFR of one event span with an explicit cohort denominator.
+AfrBreakdown compute_afr(const store::EventView& events, double disk_years,
+                         std::string label = {});
+
+/// Whole-store AFR (all four class shards pooled).
+AfrBreakdown compute_afr(const store::EventStore& store, std::string label = {});
+
+/// AFR by system class from a store, matching afr_by_class(dataset)
+/// bit for bit (classes with no systems are skipped the same way).
+std::vector<AfrBreakdown> afr_by_class(const store::EventStore& store);
 
 /// AFR by disk model within one class+shelf cohort (paper Figure 5 panels).
 std::vector<AfrBreakdown> afr_by_disk_model(const Dataset& dataset);

@@ -15,27 +15,12 @@ struct ScopedEvent {
   std::uint8_t type;
 };
 
-}  // namespace
-
-BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
+/// The shared gap walk: sorts the bucketed events by (scope, time) and pools
+/// inter-arrival gaps per series. Both the Dataset and the store entry
+/// points feed the same ScopedEvent set, so their results are identical.
+BurstinessResult pooled_gaps(std::vector<ScopedEvent> events, Scope scope) {
   BurstinessResult result;
   result.scope = scope;
-
-  // Bucket events by scope id.
-  std::vector<ScopedEvent> events;
-  events.reserve(dataset.events().size());
-  for (const auto& e : dataset.events()) {
-    const auto& disk = dataset.disk_of(e);
-    std::uint32_t scope_id;
-    if (scope == Scope::kShelf) {
-      scope_id = disk.shelf.value();
-    } else {
-      if (!disk.raid_group.valid()) continue;  // spare not in any group
-      scope_id = disk.raid_group.value();
-    }
-    events.push_back(ScopedEvent{e.time, scope_id, e.disk.value(),
-                                 static_cast<std::uint8_t>(model::index_of(e.type))});
-  }
   // Sort by (scope, time) so each scope's stream is contiguous and ordered.
   std::sort(events.begin(), events.end(), [](const ScopedEvent& a, const ScopedEvent& b) {
     if (a.scope_id != b.scope_id) return a.scope_id < b.scope_id;
@@ -77,6 +62,48 @@ BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
     }
   }
   return result;
+}
+
+}  // namespace
+
+BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
+  // Bucket events by scope id.
+  std::vector<ScopedEvent> events;
+  events.reserve(dataset.events().size());
+  for (const auto& e : dataset.events()) {
+    const auto& disk = dataset.disk_of(e);
+    std::uint32_t scope_id;
+    if (scope == Scope::kShelf) {
+      scope_id = disk.shelf.value();
+    } else {
+      if (!disk.raid_group.valid()) continue;  // spare not in any group
+      scope_id = disk.raid_group.value();
+    }
+    events.push_back(ScopedEvent{e.time, scope_id, e.disk.value(),
+                                 static_cast<std::uint8_t>(model::index_of(e.type))});
+  }
+  return pooled_gaps(std::move(events), scope);
+}
+
+BurstinessResult time_between_failures(const store::EventStore& store, Scope scope) {
+  // The store's event columns already carry the shelf/RAID-group join, so
+  // bucketing needs no inventory lookups at all.
+  std::vector<ScopedEvent> events;
+  events.reserve(static_cast<std::size_t>(store.event_count()));
+  for (const auto cls : model::kAllSystemClasses) {
+    const store::EventView& view = store.events(cls);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      std::uint32_t scope_id;
+      if (scope == Scope::kShelf) {
+        scope_id = view.shelf[i];
+      } else {
+        if (!model::RaidGroupId(view.raid_group[i]).valid()) continue;
+        scope_id = view.raid_group[i];
+      }
+      events.push_back(ScopedEvent{view.time[i], scope_id, view.disk[i], view.type[i]});
+    }
+  }
+  return pooled_gaps(std::move(events), scope);
 }
 
 stats::Ecdf BurstinessResult::ecdf(std::size_t series) const {

@@ -15,6 +15,7 @@
 
 #include "core/dataset.h"
 #include "stats/ecdf.h"
+#include "store/reader.h"
 
 namespace storsubsim::core {
 
@@ -38,6 +39,12 @@ struct BurstinessResult {
 };
 
 BurstinessResult time_between_failures(const Dataset& dataset, Scope scope);
+
+/// Store-backed overload over the whole (unfiltered) cohort: reads the
+/// pre-joined scope columns straight from the mapped file and produces the
+/// same pooled gaps as the Dataset path. For filtered cohorts, reconstruct
+/// a Dataset via core::dataset_from_store and filter it.
+BurstinessResult time_between_failures(const store::EventStore& store, Scope scope);
 
 /// Convenience index for a failure-type series.
 constexpr std::size_t series_of(model::FailureType type) { return model::index_of(type); }

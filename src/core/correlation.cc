@@ -82,6 +82,71 @@ WindowCounts count_windows(const Dataset& dataset, Scope scope, model::FailureTy
   return wc;
 }
 
+/// Store-backed twin of count_windows: same (scope, window) cells, fed from
+/// the mapped columns. Every accumulation is an integer tally into an
+/// ordered map, so the two paths cannot diverge.
+WindowCounts count_windows(const store::EventStore& store, Scope scope,
+                           model::FailureType type, double window_seconds) {
+  WindowCounts wc;
+  const double horizon = store.header().horizon_seconds;
+  const auto deploy = store.topology(store::ColumnId::kSysDeploy)->as_f64();
+
+  auto windows_for_system = [&](std::uint32_t sys) -> std::size_t {
+    const double observed = horizon - deploy[sys];
+    return observed >= window_seconds
+               ? static_cast<std::size_t>(std::floor(observed / window_seconds))
+               : 0;
+  };
+
+  const auto scope_systems =
+      scope == Scope::kShelf
+          ? store.topology(store::ColumnId::kShelfSystem)->as_u32()
+          : store.topology(store::ColumnId::kRgSystem)->as_u32();
+  std::vector<std::size_t> scope_windows(scope_systems.size(), 0);
+  for (std::size_t i = 0; i < scope_systems.size(); ++i) {
+    scope_windows[i] = windows_for_system(scope_systems[i]);
+  }
+  for (const auto w : scope_windows) wc.windows_observed += w;
+
+  const auto wanted = static_cast<std::uint8_t>(model::index_of(type));
+  for (const auto cls : model::kAllSystemClasses) {
+    const store::EventView& view = store.events(cls);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      if (view.type[i] != wanted) continue;
+      std::uint32_t scope_id;
+      if (scope == Scope::kShelf) {
+        scope_id = view.shelf[i];
+      } else {
+        if (!model::RaidGroupId(view.raid_group[i]).valid()) continue;
+        scope_id = view.raid_group[i];
+      }
+      const double offset = view.time[i] - deploy[view.system[i]];
+      if (offset < 0.0) continue;
+      const auto window = static_cast<std::size_t>(std::floor(offset / window_seconds));
+      if (window >= scope_windows[scope_id]) continue;  // partial trailing window
+      ++wc.counts[(static_cast<std::uint64_t>(scope_id) << 20u) | window];
+    }
+  }
+
+  for (const auto& [_, n] : wc.counts) {
+    if (wc.histogram.size() <= n) wc.histogram.resize(n + 1, 0);
+    ++wc.histogram[n];
+  }
+  return wc;
+}
+
+CorrelationResult result_from_counts(const WindowCounts& wc, Scope scope,
+                                     model::FailureType type, double window_seconds) {
+  CorrelationResult r;
+  r.scope = scope;
+  r.type = type;
+  r.window_seconds = window_seconds;
+  r.windows_observed = wc.windows_observed;
+  r.windows_with_one = wc.histogram.size() > 1 ? wc.histogram[1] : 0;
+  r.windows_with_two = wc.histogram.size() > 2 ? wc.histogram[2] : 0;
+  return r;
+}
+
 }  // namespace
 
 double CorrelationResult::empirical_p1() const {
@@ -122,15 +187,24 @@ stats::TTestResult CorrelationResult::independence_test() const {
 
 CorrelationResult failure_correlation(const Dataset& dataset, Scope scope,
                                       model::FailureType type, double window_seconds) {
-  const WindowCounts wc = count_windows(dataset, scope, type, window_seconds);
-  CorrelationResult r;
-  r.scope = scope;
-  r.type = type;
-  r.window_seconds = window_seconds;
-  r.windows_observed = wc.windows_observed;
-  r.windows_with_one = wc.histogram.size() > 1 ? wc.histogram[1] : 0;
-  r.windows_with_two = wc.histogram.size() > 2 ? wc.histogram[2] : 0;
-  return r;
+  return result_from_counts(count_windows(dataset, scope, type, window_seconds), scope,
+                            type, window_seconds);
+}
+
+CorrelationResult failure_correlation(const store::EventStore& store, Scope scope,
+                                      model::FailureType type, double window_seconds) {
+  return result_from_counts(count_windows(store, scope, type, window_seconds), scope,
+                            type, window_seconds);
+}
+
+std::vector<CorrelationResult> failure_correlation_all_types(
+    const store::EventStore& store, Scope scope, double window_seconds) {
+  std::vector<CorrelationResult> out;
+  out.reserve(model::kAllFailureTypes.size());
+  for (const auto type : model::kAllFailureTypes) {
+    out.push_back(failure_correlation(store, scope, type, window_seconds));
+  }
+  return out;
 }
 
 std::vector<CorrelationResult> failure_correlation_all_types(const Dataset& dataset,

@@ -58,6 +58,17 @@ CorrelationResult failure_correlation(const Dataset& dataset, Scope scope,
 std::vector<CorrelationResult> failure_correlation_all_types(
     const Dataset& dataset, Scope scope, double window_seconds = model::kSecondsPerYear);
 
+/// Store-backed overloads over the whole (unfiltered) cohort: window counts
+/// come from the mapped event columns and the topology columns' deployment
+/// times — pure integer tallies, identical to the Dataset path.
+CorrelationResult failure_correlation(const store::EventStore& store, Scope scope,
+                                      model::FailureType type,
+                                      double window_seconds = model::kSecondsPerYear);
+
+std::vector<CorrelationResult> failure_correlation_all_types(
+    const store::EventStore& store, Scope scope,
+    double window_seconds = model::kSecondsPerYear);
+
 /// The generalized check P(N) = P(1)^N / N! for N = 1..max_n (paper
 /// equation 4): empirical vs theoretical window fractions.
 struct MultiplicityRow {

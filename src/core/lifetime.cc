@@ -33,8 +33,11 @@ std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Dataset
   return out;
 }
 
-LifetimeReport disk_lifetime_report(const Dataset& dataset,
-                                    std::vector<double> age_edges_days) {
+namespace {
+
+LifetimeReport report_from_observations(
+    const std::vector<stats::SurvivalObservation>& observations,
+    std::vector<double> age_edges_days) {
   if (age_edges_days.empty()) {
     age_edges_days = {0.0, 30.0, 90.0, 180.0, 365.0, 730.0, 1340.0};
   }
@@ -42,7 +45,6 @@ LifetimeReport disk_lifetime_report(const Dataset& dataset,
   edges_seconds.reserve(age_edges_days.size());
   for (const double d : age_edges_days) edges_seconds.push_back(d * model::kSecondsPerDay);
 
-  const auto observations = disk_lifetime_observations(dataset);
   LifetimeReport report;
   report.disks = observations.size();
   report.survival = stats::KaplanMeier::fit(observations);
@@ -54,6 +56,50 @@ LifetimeReport disk_lifetime_report(const Dataset& dataset,
           : 1.0 - static_cast<double>(report.failures) /
                       static_cast<double>(observations.size());
   return report;
+}
+
+}  // namespace
+
+LifetimeReport disk_lifetime_report(const Dataset& dataset,
+                                    std::vector<double> age_edges_days) {
+  return report_from_observations(disk_lifetime_observations(dataset),
+                                  std::move(age_edges_days));
+}
+
+std::vector<stats::SurvivalObservation> disk_lifetime_observations(
+    const store::EventStore& store) {
+  std::unordered_set<std::uint32_t> failed;
+  for (const auto cls : model::kAllSystemClasses) {
+    const store::EventView& view = store.events(cls);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      if (view.type[i] == static_cast<std::uint8_t>(model::FailureType::kDisk)) {
+        failed.insert(view.disk[i]);
+      }
+    }
+  }
+
+  const double horizon = store.header().horizon_seconds;
+  const auto install = store.topology(store::ColumnId::kDiskInstall)->as_f64();
+  const auto remove = store.topology(store::ColumnId::kDiskRemove)->as_f64();
+  std::vector<stats::SurvivalObservation> out;
+  out.reserve(install.size());
+  for (std::size_t i = 0; i < install.size(); ++i) {
+    const double start = std::max(0.0, install[i]);
+    const double end = std::min(horizon, remove[i]);
+    if (end <= start) continue;  // never observed inside the window
+    stats::SurvivalObservation obs;
+    obs.duration = end - start;
+    obs.event =
+        failed.contains(static_cast<std::uint32_t>(i)) && remove[i] <= horizon;
+    out.push_back(obs);
+  }
+  return out;
+}
+
+LifetimeReport disk_lifetime_report(const store::EventStore& store,
+                                    std::vector<double> age_edges_days) {
+  return report_from_observations(disk_lifetime_observations(store),
+                                  std::move(age_edges_days));
 }
 
 }  // namespace storsubsim::core

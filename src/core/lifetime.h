@@ -12,6 +12,7 @@
 
 #include "core/dataset.h"
 #include "stats/survival.h"
+#include "store/reader.h"
 
 namespace storsubsim::core {
 
@@ -32,6 +33,14 @@ struct LifetimeReport {
 /// Fits the survival curve and the age-binned hazard. `age_edges_days`
 /// defaults to {0, 30, 90, 180, 365, 730, 1340} when empty.
 LifetimeReport disk_lifetime_report(const Dataset& dataset,
+                                    std::vector<double> age_edges_days = {});
+
+/// Store-backed overloads over the whole (unfiltered) cohort: observations
+/// come from the mapped install/remove topology columns in disk-id order —
+/// the same sweep (and therefore the same fit) as the Dataset path.
+std::vector<stats::SurvivalObservation> disk_lifetime_observations(
+    const store::EventStore& store);
+LifetimeReport disk_lifetime_report(const store::EventStore& store,
                                     std::vector<double> age_edges_days = {});
 
 }  // namespace storsubsim::core

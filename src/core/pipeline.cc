@@ -52,6 +52,8 @@ ShardOutput roundtrip_shard(const model::Fleet& fleet,
   out.failures = log::classify(std::span<const log::LogView>(records),
                                log::ClassifierOptions{}, &classifier_stats);
   out.stats.raid_records = classifier_stats.raid_records;
+  out.stats.duplicates_dropped = classifier_stats.duplicates_dropped;
+  out.stats.missing_disk_dropped = classifier_stats.missing_disk_dropped;
   out.stats.failures_classified = out.failures.size();
   out.stats.stage_seconds.classify = timer.lap();
   return out;
@@ -62,6 +64,8 @@ void accumulate(PipelineStats& into, const PipelineStats& shard) {
   into.log_lines_parsed += shard.log_lines_parsed;
   into.raid_records += shard.raid_records;
   into.failures_classified += shard.failures_classified;
+  into.duplicates_dropped += shard.duplicates_dropped;
+  into.missing_disk_dropped += shard.missing_disk_dropped;
   into.stage_seconds.emit += shard.stage_seconds.emit;
   into.stage_seconds.parse += shard.stage_seconds.parse;
   into.stage_seconds.classify += shard.stage_seconds.classify;

@@ -31,6 +31,8 @@ struct PipelineStats {
   std::size_t log_lines_parsed = 0;
   std::size_t raid_records = 0;
   std::size_t failures_classified = 0;
+  std::size_t duplicates_dropped = 0;    ///< classifier de-dup window hits
+  std::size_t missing_disk_dropped = 0;  ///< RAID records without a disk id
   StageSeconds stage_seconds;
 };
 

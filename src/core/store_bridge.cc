@@ -1,0 +1,94 @@
+#include "core/store_bridge.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace storsubsim::core {
+
+store::StoreMeta make_store_meta(const sim::SimCounters& counters,
+                                 const PipelineStats& pipeline) {
+  store::StoreMeta meta;
+  for (std::size_t i = 0; i < meta.sim_events_by_type.size(); ++i) {
+    meta.sim_events_by_type[i] = counters.events_by_type[i];
+  }
+  meta.sim_replacements = counters.replacements;
+  meta.sim_triggered_disk_failures = counters.triggered_disk_failures;
+  meta.sim_shelf_faults = counters.shelf_faults;
+  meta.sim_path_faults = counters.path_faults;
+  meta.sim_masked_path_faults = counters.masked_path_faults;
+  meta.log_lines_written = pipeline.log_lines_written;
+  meta.log_lines_parsed = pipeline.log_lines_parsed;
+  meta.raid_records = pipeline.raid_records;
+  meta.failures_classified = pipeline.failures_classified;
+  meta.duplicates_dropped = pipeline.duplicates_dropped;
+  meta.missing_disk_dropped = pipeline.missing_disk_dropped;
+  return meta;
+}
+
+sim::SimCounters sim_counters_from_meta(const store::StoreMeta& meta) {
+  sim::SimCounters counters;
+  for (std::size_t i = 0; i < counters.events_by_type.size(); ++i) {
+    counters.events_by_type[i] = static_cast<std::size_t>(meta.sim_events_by_type[i]);
+  }
+  counters.replacements = static_cast<std::size_t>(meta.sim_replacements);
+  counters.triggered_disk_failures =
+      static_cast<std::size_t>(meta.sim_triggered_disk_failures);
+  counters.shelf_faults = static_cast<std::size_t>(meta.sim_shelf_faults);
+  counters.path_faults = static_cast<std::size_t>(meta.sim_path_faults);
+  counters.masked_path_faults = static_cast<std::size_t>(meta.sim_masked_path_faults);
+  return counters;
+}
+
+PipelineStats pipeline_stats_from_meta(const store::StoreMeta& meta) {
+  PipelineStats stats;
+  stats.log_lines_written = static_cast<std::size_t>(meta.log_lines_written);
+  stats.log_lines_parsed = static_cast<std::size_t>(meta.log_lines_parsed);
+  stats.raid_records = static_cast<std::size_t>(meta.raid_records);
+  stats.failures_classified = static_cast<std::size_t>(meta.failures_classified);
+  stats.duplicates_dropped = static_cast<std::size_t>(meta.duplicates_dropped);
+  stats.missing_disk_dropped = static_cast<std::size_t>(meta.missing_disk_dropped);
+  return stats;
+}
+
+store::Error write_store(const std::string& path, const SimulationDataset& run,
+                         std::uint64_t seed, double scale) {
+  store::StoreContents contents;
+  contents.inventory = &run.dataset.inventory();
+  contents.events = run.dataset.events();
+  contents.meta = make_store_meta(run.counters, run.pipeline);
+  contents.seed = seed;
+  contents.scale = scale;
+  return store::write_store_file(path, contents);
+}
+
+Dataset dataset_from_store(const store::EventStore& store) {
+  std::vector<FailureEvent> events;
+  events.reserve(static_cast<std::size_t>(store.event_count()));
+  for (const auto cls : model::kAllSystemClasses) {
+    const store::EventView& view = store.events(cls);
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      events.push_back(FailureEvent{view.time[i], model::DiskId(view.disk[i]),
+                                    model::SystemId(view.system[i]),
+                                    static_cast<model::FailureType>(view.type[i])});
+    }
+  }
+  // Restore the canonical global order across the four class shards (each
+  // shard is already (time, disk, type)-sorted internally).
+  std::sort(events.begin(), events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.disk != b.disk) return a.disk < b.disk;
+              return static_cast<int>(a.type) < static_cast<int>(b.type);
+            });
+  return Dataset(std::make_shared<log::Inventory>(store.rebuild_inventory()),
+                 std::move(events));
+}
+
+SimulationDataset simulation_dataset_from_store(const store::EventStore& store) {
+  return SimulationDataset{dataset_from_store(store),
+                           sim_counters_from_meta(store.meta()),
+                           pipeline_stats_from_meta(store.meta())};
+}
+
+}  // namespace storsubsim::core

@@ -1,0 +1,44 @@
+// Bridges the analysis layer to the columnar event store (src/store/):
+// "simulate once, analyze many".
+//
+// The store library deliberately knows nothing about sim/ or core/ — its
+// meta block is plain integers. This header owns the two-way mapping:
+// a completed SimulationDataset (events + inventory + counters) is written
+// out with write_store, and a store file is rehydrated into the *exact*
+// Dataset the pipeline would have produced with dataset_from_store — same
+// event bytes, same inventory, same FP results from every analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+#include "store/reader.h"
+#include "store/writer.h"
+
+namespace storsubsim::core {
+
+/// Mirrors a completed run's counters into the store's meta block.
+store::StoreMeta make_store_meta(const sim::SimCounters& counters,
+                                 const PipelineStats& pipeline);
+
+/// Reverse mapping, for store-backed reruns that report the original run's
+/// statistics.
+sim::SimCounters sim_counters_from_meta(const store::StoreMeta& meta);
+PipelineStats pipeline_stats_from_meta(const store::StoreMeta& meta);
+
+/// Serializes a completed run to `path`. `seed`/`scale` are provenance
+/// recorded in the header (the dataset does not know them).
+store::Error write_store(const std::string& path, const SimulationDataset& run,
+                         std::uint64_t seed, double scale);
+
+/// Rebuilds the exact in-memory Dataset from an opened store: events arrive
+/// in the canonical (time, disk, type) order the classifier produces, so the
+/// Dataset constructor yields bit-identical state to the pipeline path.
+Dataset dataset_from_store(const store::EventStore& store);
+
+/// Dataset plus the original run's counters from the meta block. Stage
+/// timings are zero — nothing was simulated.
+SimulationDataset simulation_dataset_from_store(const store::EventStore& store);
+
+}  // namespace storsubsim::core

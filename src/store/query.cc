@@ -1,0 +1,156 @@
+#include "store/query.h"
+
+#include <map>
+
+namespace storsubsim::store {
+
+namespace {
+
+/// Counts accumulated for one group before labels/rates are attached.
+struct GroupCounts {
+  std::array<std::uint64_t, kFailureTypeCount> events_by_type{};
+  std::uint64_t events = 0;
+};
+
+/// Disk-year denominator of a (class?, family?) cohort, from the exposure
+/// table. Missing combinations (no such cohort in the fleet) yield 0.
+double cohort_disk_years(const ExposureTable& exposure,
+                         std::optional<std::size_t> cls, std::optional<char> family) {
+  if (cls.has_value() && family.has_value()) {
+    const auto it = exposure.class_family_disk_years.find(
+        {static_cast<std::uint8_t>(*cls), *family});
+    return it == exposure.class_family_disk_years.end() ? 0.0 : it->second;
+  }
+  if (cls.has_value()) return exposure.class_disk_years[*cls];
+  if (family.has_value()) {
+    const auto it = exposure.family_disk_years.find(*family);
+    return it == exposure.family_disk_years.end() ? 0.0 : it->second;
+  }
+  return exposure.total_disk_years;
+}
+
+QueryGroup finalize(std::string label, const GroupCounts& counts, double disk_years,
+                    bool rates_defined) {
+  QueryGroup g;
+  g.label = std::move(label);
+  g.events_by_type = counts.events_by_type;
+  g.events = counts.events;
+  if (rates_defined && disk_years > 0.0) {
+    g.disk_years = disk_years;
+    g.afr_pct = 100.0 * static_cast<double>(counts.events) / disk_years;
+  }
+  return g;
+}
+
+}  // namespace
+
+QueryResult run_query(const EventStore& store, const Query& query) {
+  QueryResult result;
+
+  GroupCounts all;                                       // GroupBy::kNone
+  std::array<GroupCounts, kClassCount> by_class{};       // GroupBy::kSystemClass
+  std::array<GroupCounts, kFailureTypeCount> by_type{};  // GroupBy::kFailureType
+  std::map<char, GroupCounts> by_family;                 // GroupBy::kDiskFamily
+
+  const bool has_window = query.time_begin.has_value() || query.time_end.has_value();
+
+  for (const auto cls : model::kAllSystemClasses) {
+    if (query.system_class.has_value() && *query.system_class != cls) continue;
+    const EventView& view = store.events(cls);
+
+    for (const auto& block : store.blocks(cls)) {
+      if ((query.time_begin.has_value() && block.time_max < *query.time_begin) ||
+          (query.time_end.has_value() && block.time_min >= *query.time_end)) {
+        ++result.stats.blocks_pruned;
+        continue;
+      }
+      ++result.stats.blocks_scanned;
+      result.stats.rows_scanned += block.rows;
+
+      const std::size_t begin = static_cast<std::size_t>(block.row_begin);
+      const std::size_t end = begin + static_cast<std::size_t>(block.rows);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (query.time_begin.has_value() && view.time[i] < *query.time_begin) continue;
+        if (query.time_end.has_value() && view.time[i] >= *query.time_end) continue;
+        const std::uint8_t type = view.type[i];
+        if (query.failure_type.has_value() &&
+            static_cast<std::uint8_t>(*query.failure_type) != type) {
+          continue;
+        }
+        const char family = static_cast<char>(view.family[i]);
+        if (query.disk_family.has_value() && *query.disk_family != family) continue;
+
+        ++result.stats.rows_matched;
+        GroupCounts* group = &all;
+        switch (query.group_by) {
+          case Query::GroupBy::kNone:
+            break;
+          case Query::GroupBy::kSystemClass:
+            group = &by_class[model::index_of(cls)];
+            break;
+          case Query::GroupBy::kFailureType:
+            group = &by_type[type];
+            break;
+          case Query::GroupBy::kDiskFamily:
+            group = &by_family[family];
+            break;
+        }
+        ++group->events_by_type[type];
+        ++group->events;
+      }
+    }
+  }
+
+  // Rates come from stored cohort exposure; a time window has no stored
+  // denominator, so windowed queries report counts only.
+  const bool rates = !has_window;
+  const auto filter_class =
+      query.system_class.has_value()
+          ? std::optional<std::size_t>(model::index_of(*query.system_class))
+          : std::nullopt;
+  const auto& exposure = store.exposure();
+
+  switch (query.group_by) {
+    case Query::GroupBy::kNone:
+      result.groups.push_back(
+          finalize("all", all,
+                   cohort_disk_years(exposure, filter_class, query.disk_family), rates));
+      break;
+    case Query::GroupBy::kSystemClass:
+      for (const auto cls : model::kAllSystemClasses) {
+        const std::size_t c = model::index_of(cls);
+        if (exposure.class_system_count[c] == 0) continue;  // cohort absent
+        if (filter_class.has_value() && *filter_class != c) continue;
+        result.groups.push_back(
+            finalize(std::string(model::to_string(cls)), by_class[c],
+                     cohort_disk_years(exposure, c, query.disk_family), rates));
+      }
+      break;
+    case Query::GroupBy::kFailureType:
+      for (const auto type : model::kAllFailureTypes) {
+        if (query.failure_type.has_value() && *query.failure_type != type) continue;
+        // Shared cohort denominator: each group's rate is that type's AFR
+        // contribution, exactly as AfrBreakdown::afr_pct slices one cohort.
+        result.groups.push_back(finalize(
+            std::string(model::to_string(type)), by_type[model::index_of(type)],
+            cohort_disk_years(exposure, filter_class, query.disk_family), rates));
+      }
+      break;
+    case Query::GroupBy::kDiskFamily:
+      for (const auto& [family, years] : exposure.family_disk_years) {
+        if (query.disk_family.has_value() && *query.disk_family != family) continue;
+        const auto it = by_family.find(family);
+        const GroupCounts counts = it == by_family.end() ? GroupCounts{} : it->second;
+        std::string label("family ");
+        label.append(1, family);
+        result.groups.push_back(finalize(
+            std::move(label), counts,
+            cohort_disk_years(exposure, filter_class, family), rates));
+        (void)years;
+      }
+      break;
+  }
+  return result;
+}
+
+}  // namespace storsubsim::store

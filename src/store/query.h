@@ -1,0 +1,67 @@
+// Declarative queries over an opened EventStore.
+//
+// A Query is the store-side analogue of core::Filter plus a group-by: select
+// events by failure type / system class / disk family / detection-time
+// window, then aggregate counts (and AFR-style rates where a disk-year
+// denominator is defined) per group. Time-window predicates prune whole
+// blocks through the footer's block index before any row is touched.
+//
+// Rates use the footer's pre-computed exposure table, so a rate produced
+// here is bit-identical to the matching in-memory Dataset computation.
+// Queries with a time-window predicate report counts only (`disk_years`
+// stays 0 — exposure within an arbitrary window is not stored).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/enums.h"
+#include "store/reader.h"
+
+namespace storsubsim::store {
+
+struct Query {
+  enum class GroupBy : std::uint8_t {
+    kNone,         ///< one aggregate over everything selected
+    kSystemClass,  ///< one group per system class
+    kFailureType,  ///< one group per failure type
+    kDiskFamily,   ///< one group per (system) disk family
+  };
+
+  std::optional<model::SystemClass> system_class;
+  std::optional<model::FailureType> failure_type;
+  std::optional<char> disk_family;  ///< owning system's family (Filter semantics)
+  std::optional<double> time_begin; ///< inclusive lower bound on detection time
+  std::optional<double> time_end;   ///< exclusive upper bound
+  GroupBy group_by = GroupBy::kNone;
+};
+
+struct QueryGroup {
+  std::string label;
+  std::array<std::uint64_t, kFailureTypeCount> events_by_type{};
+  std::uint64_t events = 0;
+  /// Cohort denominator; 0 when undefined (time-window queries).
+  double disk_years = 0.0;
+  /// 100 * events / disk_years when disk_years > 0, else 0.
+  double afr_pct = 0.0;
+};
+
+/// Scan accounting: how much work the block index saved.
+struct QueryStats {
+  std::uint64_t rows_scanned = 0;
+  std::uint64_t rows_matched = 0;
+  std::uint64_t blocks_scanned = 0;
+  std::uint64_t blocks_pruned = 0;
+};
+
+struct QueryResult {
+  std::vector<QueryGroup> groups;
+  QueryStats stats;
+};
+
+QueryResult run_query(const EventStore& store, const Query& query);
+
+}  // namespace storsubsim::store

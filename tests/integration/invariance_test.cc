@@ -5,6 +5,7 @@
 #include "core/afr.h"
 #include "core/burstiness.h"
 #include "core/pipeline.h"
+#include "core/store_bridge.h"
 #include "model/fleet_config.h"
 #include "sim/scenario.h"
 #include "stats/bootstrap.h"
@@ -128,6 +129,34 @@ TEST_P(ThreadInvariance, PipelineBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.pipeline.log_lines_parsed, parallel.pipeline.log_lines_parsed);
   EXPECT_EQ(serial.pipeline.raid_records, parallel.pipeline.raid_records);
   EXPECT_EQ(serial.pipeline.failures_classified, parallel.pipeline.failures_classified);
+}
+
+TEST_P(ThreadInvariance, StoreBytesIdenticalAcrossThreadCounts) {
+  // The columnar store extends the determinism contract to the serialized
+  // artifact: the same run must produce byte-identical store files no matter
+  // how many workers encode the class shards (docs/STORE.md).
+  const auto config = model::standard_fleet_config(GetParam(), 11);
+  storsubsim::util::set_thread_count(1);
+  const auto serial = core::simulate_and_analyze(config);
+  auto image_of = [](const core::SimulationDataset& run) {
+    storsubsim::store::StoreContents contents;
+    contents.inventory = &run.dataset.inventory();
+    contents.events = run.dataset.events();
+    contents.meta = core::make_store_meta(run.counters, run.pipeline);
+    contents.seed = 11;
+    contents.scale = 1.0;
+    std::string image;
+    EXPECT_TRUE(storsubsim::store::build_store_image(contents, &image).ok());
+    return image;
+  };
+  const std::string serial_image = image_of(serial);
+
+  storsubsim::util::set_thread_count(4);
+  const auto parallel = core::simulate_and_analyze(config);
+  const std::string parallel_image = image_of(parallel);
+
+  ASSERT_EQ(serial_image.size(), parallel_image.size());
+  EXPECT_EQ(serial_image, parallel_image);
 }
 
 TEST_P(ThreadInvariance, BootstrapCiBitIdenticalAcrossThreadCounts) {

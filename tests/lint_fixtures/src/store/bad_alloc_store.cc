@@ -1,0 +1,23 @@
+// Fixture: the alloc-hotpath rule also covers the columnar store codec
+// (src/store/) — serialization runs once per simulation but over millions of
+// rows, so the same per-row allocation patterns are banned there.
+#include <sstream>
+#include <string>
+
+namespace storsubsim::fixture {
+
+std::string column_label_slow(int shard, int column) {
+  std::ostringstream os;                        // alloc-hotpath
+  os << "shard " << shard << " column " << column;
+  return os.str();
+}
+
+std::string row_count_slow(unsigned long rows) {
+  return std::to_string(rows);                  // alloc-hotpath
+}
+
+std::string describe_block_slow(const std::string& name) {
+  return "block " + name;                       // alloc-hotpath
+}
+
+}  // namespace storsubsim::fixture

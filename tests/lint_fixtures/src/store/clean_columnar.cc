@@ -1,0 +1,20 @@
+// Fixture: the shipped store-codec idiom — std::to_chars into a stack
+// buffer, .append() onto a reusable image string — stays clean under the
+// alloc-hotpath rule.
+#include <charconv>
+#include <string>
+
+namespace storsubsim::fixture {
+
+void append_row_count(std::string& out, unsigned long rows) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), rows);
+  if (ec == std::errc{}) out.append(buf, ptr);
+}
+
+void append_label(std::string& out, const std::string& name) {
+  out.append("block ");
+  out.append(name);
+}
+
+}  // namespace storsubsim::fixture

@@ -130,6 +130,61 @@ TEST_F(CliTest, ClassFilter) {
   EXPECT_EQ(out.find("near-line"), std::string::npos);
 }
 
+TEST_F(CliTest, StoreBuildQueryStatsAndAnalyze) {
+  // Build a columnar store from the shared log/snapshot artifacts, then
+  // check that every store consumer agrees with the log-parsing path.
+  const std::string store_path = temp_path("cli_fleet.store");
+  {
+    const auto [status, out] = run_cli("store build --out " + store_path + " --logs " +
+                                       logs_path_ + " --snapshot " + snap_path_);
+    ASSERT_EQ(status, 0) << out;
+  }
+  {
+    const auto [status, out] = run_cli("store stats --store " + store_path);
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("format version"), std::string::npos);
+    EXPECT_NE(out.find("disk-years"), std::string::npos);
+    EXPECT_NE(out.find("near-line"), std::string::npos);
+  }
+  {
+    const auto [status, out] =
+        run_cli("store query --store " + store_path + " --group-by class");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("AFR %"), std::string::npos);
+    EXPECT_NE(out.find("near-line"), std::string::npos);
+  }
+  {
+    const auto [status, out] = run_cli("store query --store " + store_path +
+                                       " --type disk --from-days 0 --to-days 10000");
+    EXPECT_EQ(status, 0);
+    EXPECT_NE(out.find("all"), std::string::npos);
+  }
+  // The mmap fast path must print the same report as the log path, byte for
+  // byte — for the whole fleet and for a filtered cohort.
+  for (const char* extra : {"", " --class low-end --exclude-h"}) {
+    for (const char* report : {"afr", "burstiness", "correlation", "events"}) {
+      const auto from_logs = run_cli("analyze --logs " + logs_path_ + " --snapshot " +
+                                     snap_path_ + " --report " + report + extra);
+      const auto from_store =
+          run_cli("analyze --store " + store_path + " --report " + report + extra);
+      EXPECT_EQ(from_store.first, 0) << report;
+      EXPECT_EQ(from_store.second, from_logs.second) << report << extra;
+    }
+  }
+  std::remove(store_path.c_str());
+}
+
+TEST(CliStoreErrors, CorruptAndMissingStoresRejected) {
+  EXPECT_NE(run_cli("store query --store /nonexistent.store").first, 0);
+  EXPECT_NE(run_cli("store frobnicate").first, 0);
+  EXPECT_NE(run_cli("store build").first, 0);  // missing --out
+  const std::string bogus = temp_path("bogus.store");
+  std::ofstream(bogus) << "this is not a column store";
+  EXPECT_NE(run_cli("store stats --store " + bogus).first, 0);
+  EXPECT_NE(run_cli("analyze --store " + bogus + " --report afr").first, 0);
+  std::remove(bogus.c_str());
+}
+
 TEST(CliUsage, BadInvocationsFail) {
   EXPECT_NE(run_cli("").first, 0);
   EXPECT_NE(run_cli("frobnicate").first, 0);

@@ -199,6 +199,16 @@ TEST(AllocHotpathRule, LineWriterIdiomIsClean) {
   EXPECT_TRUE(lint_fixture("src/log/clean_linewriter.cc").findings.empty());
 }
 
+TEST(AllocHotpathRule, CoversTheColumnarStoreCodec) {
+  const auto report = lint_fixture("src/store/bad_alloc_store.cc");
+  EXPECT_EQ(count_rule(report, lint::Rule::kAllocHotpath), 3u);
+  EXPECT_EQ(report.findings.size(), 3u);
+}
+
+TEST(AllocHotpathRule, ToCharsAppendIdiomIsClean) {
+  EXPECT_TRUE(lint_fixture("src/store/clean_columnar.cc").findings.empty());
+}
+
 TEST(AllocHotpathRule, ProjectToStringOverloadsAreNotFlagged) {
   // The log layer's own to_string(Severity) must not be confused with
   // std::to_string — only the std-qualified call allocates a temporary.
@@ -218,6 +228,8 @@ TEST(AllocHotpathRule, ScopedToLogLayerAndPipelineOnly) {
       "std::string f(int v) { std::ostringstream os; os << v; return os.str(); }\n";
   EXPECT_EQ(lint::lint_source("src/log/emitter.cc", snippet).findings.size(), 1u);
   EXPECT_EQ(lint::lint_source("src/core/pipeline.cc", snippet).findings.size(), 1u);
+  EXPECT_EQ(lint::lint_source("src/store/writer.cc", snippet).findings.size(), 1u);
+  EXPECT_EQ(lint::lint_source("src/store/reader.cc", snippet).findings.size(), 1u);
   EXPECT_TRUE(lint::lint_source("src/core/afr.cc", snippet).findings.empty())
       << "cold analysis code may use streams";
   EXPECT_TRUE(lint::lint_source("bench/parallel_baseline.cc", snippet).findings.empty())
@@ -307,7 +319,7 @@ TEST(CollectSources, ExplicitlyNamedFixtureFilesAreLinted) {
 TEST(Cli, ExitsNonzeroOnEveryViolatingFixture) {
   for (const char* bad : {"src/bad_nondeterminism.cc", "src/bad_unordered_iter.cc",
                           "src/bad_rng_discipline.cc", "src/bad_suppression.cc",
-                          "src/log/bad_alloc_hotpath.cc",
+                          "src/log/bad_alloc_hotpath.cc", "src/store/bad_alloc_store.cc",
                           "include/bad_missing_guard.h", "include/bad_using_namespace.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(bad)), 1) << bad;
   }
@@ -317,7 +329,8 @@ TEST(Cli, ExitsZeroOnCleanFixtures) {
   for (const char* good :
        {"src/clean_deterministic.cc", "src/clean_unordered_lookup.cc",
         "src/allowed_unordered_iter.cc", "src/log/clean_linewriter.cc",
-        "bench/timing_uses_clock.cc", "include/clean_header.h"}) {
+        "src/store/clean_columnar.cc", "bench/timing_uses_clock.cc",
+        "include/clean_header.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(good)), 0) << good;
   }
 }

@@ -403,6 +403,7 @@ class FileLinter {
     if (!in_stats) check_rng_discipline();
     if (is_header(path_)) check_header_hygiene();
     const bool in_log_hotpath = (in_src && has_segment(path_, "log")) ||
+                                (in_src && has_segment(path_, "store")) ||
                                 ends_with_path(path_, "src/core/pipeline.cc");
     if (in_log_hotpath) check_alloc_hotpath();
     return finish();
@@ -454,8 +455,9 @@ class FileLinter {
     return code.substr(s, b - s) == "std";
   }
 
-  // The emit/parse hot path (src/log/, src/core/pipeline.cc) promises
-  // steady-state zero allocation (docs/performance.md): every line is built
+  // The emit/parse hot path (src/log/, src/store/, src/core/pipeline.cc)
+  // promises steady-state zero allocation (docs/performance.md): every line
+  // is built
   // in a reusable log::LineWriter and parsed as views into a retained
   // buffer. This check refuses the per-line allocation patterns the
   // refactor removed, so they cannot creep back in.

@@ -12,7 +12,11 @@
 #   4. pipeline_throughput smoke at --scale=0.05: asserts the fast log path
 #      and the legacy baseline stay byte-identical (speedups are measured at
 #      full scale separately; see docs/performance.md)
-#   5. clang-tidy over src/ when available (the container may not ship it;
+#   5. store round-trip at full scale: store_bench simulates the paper-scale
+#      fleet, serializes it, and asserts the mmap+query rerun reproduces the
+#      AFR breakdown bit for bit (docs/STORE.md); plus a corruption smoke —
+#      a truncated and a bit-flipped store must be rejected by the CLI
+#   6. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
@@ -20,21 +24,38 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] configure + build =="
+echo "== [1/6] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/5] ctest =="
+echo "== [2/6] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/5] storsim_lint =="
+echo "== [3/6] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 
-echo "== [4/5] pipeline_throughput smoke =="
+echo "== [4/6] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
   --out=build/BENCH_pipeline_smoke.json
 
-echo "== [5/5] clang-tidy =="
+echo "== [5/6] store round-trip (full scale) + corruption smoke =="
+./build/bench/store_bench --scale=1.0 --repeat=1 \
+  --store=build/BENCH_checks.store --out=build/BENCH_store_checks.json
+# Corrupt stores must be rejected, never crash: truncate one copy, flip a
+# byte in another.
+head -c 1000 build/BENCH_checks.store > build/BENCH_checks_truncated.store
+cp build/BENCH_checks.store build/BENCH_checks_flipped.store
+printf '\377' | dd of=build/BENCH_checks_flipped.store bs=1 seek=200 \
+  conv=notrunc status=none
+for broken in build/BENCH_checks_truncated.store build/BENCH_checks_flipped.store; do
+  if ./build/tools/storsubsim store stats --store "$broken" > /dev/null 2>&1; then
+    echo "FAIL: corrupted store $broken was accepted"
+    exit 1
+  fi
+done
+echo "corrupted stores rejected with typed errors"
+
+echo "== [6/6] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.

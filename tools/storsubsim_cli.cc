@@ -11,10 +11,18 @@
 //   storsubsim inspect  --snapshot fleet.snap
 //   storsubsim predict  --logs fleet.log --snapshot fleet.snap
 //       [--threshold 3] [--window-days 14] [--horizon-days 30]
+//   storsubsim store build --out fleet.store [--scale 0.1 --seed 7]
+//       [--logs fleet.log --snapshot fleet.snap]
+//   storsubsim store query --store fleet.store [--type disk] [--class low-end]
+//       [--family F] [--from-days D] [--to-days D] [--group-by class|type|family]
+//   storsubsim store stats --store fleet.store
 //
 // `analyze`, `inspect` and `predict` know nothing about the simulator's internals —
 // they parse whatever log/snapshot files you give them, so logs produced by
-// other tools (or hand-edited scenarios) work as well.
+// other tools (or hand-edited scenarios) work as well. `analyze --store FILE`
+// skips simulation and log parsing entirely: the columnar store is mapped and
+// the reports come straight off the column spans (see docs/STORE.md).
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -28,13 +36,16 @@
 #include "core/prediction.h"
 #include "core/raid_vulnerability.h"
 #include "core/report.h"
+#include "core/store_bridge.h"
 #include "log/classifier.h"
 #include "log/parser.h"
 #include "log/snapshot.h"
 #include "model/fleet_config.h"
+#include "model/time.h"
 #include "sim/log_bridge.h"
 #include "sim/precursors.h"
 #include "sim/scenario.h"
+#include "store/query.h"
 #include "util/parallel.h"
 
 using namespace storsubsim;
@@ -43,6 +54,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string subcommand;  ///< second bare token, e.g. `store build`
   std::map<std::string, std::string> options;
   std::vector<std::string> flags;
 
@@ -65,6 +77,7 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
+  if (argc >= 3 && std::string(argv[2]).rfind("--", 0) != 0) args.subcommand = argv[2];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
@@ -83,11 +96,15 @@ int usage() {
       R"(usage:
   storsubsim simulate --logs FILE --snapshot FILE [--scale S] [--seed N] [--precursors]
                       [--threads N]
-  storsubsim analyze  --logs FILE --snapshot FILE
+  storsubsim analyze  (--logs FILE --snapshot FILE | --store FILE)
                       --report afr|burstiness|correlation|vulnerability|events
                       [--class CLASS] [--exclude-h] [--csv]
   storsubsim inspect  --snapshot FILE [--csv]
   storsubsim predict  --logs FILE --snapshot FILE [--threshold K] [--window-days W] [--horizon-days H]
+  storsubsim store build --out FILE ([--scale S] [--seed N] | --logs FILE --snapshot FILE)
+  storsubsim store query --store FILE [--type TYPE] [--class CLASS] [--family F]
+                      [--from-days D] [--to-days D] [--group-by class|type|family] [--csv]
+  storsubsim store stats --store FILE [--csv]
 )";
   return 2;
 }
@@ -126,6 +143,38 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+/// Applies the `--class` / `--exclude-h` cohort selection shared by the
+/// log-backed and store-backed analysis paths.
+std::optional<core::Dataset> apply_cli_filter(const core::Dataset& dataset, const Args& args) {
+  core::Filter filter;
+  if (args.has_flag("exclude-h")) filter.exclude_family_h = true;
+  const std::string cls = args.get("class");
+  if (!cls.empty()) {
+    const auto parsed = model::parse_system_class(cls);
+    if (!parsed) {
+      std::cerr << "unknown system class '" << cls << "'\n";
+      return std::nullopt;
+    }
+    filter.system_class = parsed;
+  }
+  return dataset.filter(filter);
+}
+
+/// True when the invocation asks for a cohort narrower than the whole fleet
+/// (the store fast paths cover only the unfiltered cohort).
+bool wants_filter(const Args& args) {
+  return args.has_flag("exclude-h") || !args.get("class").empty();
+}
+
+bool open_store(const std::string& path, store::EventStore& out) {
+  const auto err = out.open(path);
+  if (!err.ok()) {
+    std::cerr << "cannot open store " << path << ": " << err.describe() << "\n";
+    return false;
+  }
+  return true;
+}
+
 std::optional<core::Dataset> load_dataset(const Args& args,
                                           std::vector<log::LogRecord>* records_out) {
   const std::string log_path = args.get("logs");
@@ -155,21 +204,10 @@ std::optional<core::Dataset> load_dataset(const Args& args,
 
   auto failures = log::classify(records);
   if (records_out != nullptr) *records_out = std::move(records);
-  core::Dataset dataset(std::make_shared<log::Inventory>(std::move(snapshot.inventory)),
-                        std::move(failures));
-
-  core::Filter filter;
-  if (args.has_flag("exclude-h")) filter.exclude_family_h = true;
-  const std::string cls = args.get("class");
-  if (!cls.empty()) {
-    const auto parsed = model::parse_system_class(cls);
-    if (!parsed) {
-      std::cerr << "unknown system class '" << cls << "'\n";
-      return std::nullopt;
-    }
-    filter.system_class = parsed;
-  }
-  return dataset.filter(filter);
+  const core::Dataset dataset(
+      std::make_shared<log::Inventory>(std::move(snapshot.inventory)),
+      std::move(failures));
+  return apply_cli_filter(dataset, args);
 }
 
 void print(const core::TextTable& table, const Args& args) {
@@ -181,14 +219,30 @@ void print(const core::TextTable& table, const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
-  const auto dataset = load_dataset(args, nullptr);
-  if (!dataset) return usage();
+  const std::string store_path = args.get("store");
+  const bool have_store = !store_path.empty();
+  store::EventStore event_store;
+  if (have_store && !open_store(store_path, event_store)) return 1;
   const std::string report = args.get("report", "afr");
+
+  // The store fast paths serve the whole-fleet cohort straight off the mapped
+  // columns; a filtered cohort (or a report that joins per-event inventory)
+  // goes through the reconstructed Dataset instead — same results either way.
+  const bool needs_dataset = !have_store || wants_filter(args) || report == "events" ||
+                             report == "vulnerability";
+  std::optional<core::Dataset> dataset;
+  if (needs_dataset) {
+    dataset = have_store ? apply_cli_filter(core::dataset_from_store(event_store), args)
+                         : load_dataset(args, nullptr);
+    if (!dataset) return usage();
+  }
 
   if (report == "afr") {
     core::TextTable table({"class", "disk", "interconnect", "protocol", "performance",
                            "total AFR", "disk-years"});
-    for (const auto& b : core::afr_by_class(*dataset)) {
+    const auto rows =
+        dataset ? core::afr_by_class(*dataset) : core::afr_by_class(event_store);
+    for (const auto& b : rows) {
       table.add_row({b.label, core::fmt(b.afr_pct(model::FailureType::kDisk), 2),
                      core::fmt(b.afr_pct(model::FailureType::kPhysicalInterconnect), 2),
                      core::fmt(b.afr_pct(model::FailureType::kProtocol), 2),
@@ -200,7 +254,8 @@ int cmd_analyze(const Args& args) {
     core::TextTable table({"scope", "series", "gaps", "within 10^3 s", "within 10^4 s",
                            "within 10^5 s"});
     for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
-      const auto r = core::time_between_failures(*dataset, scope);
+      const auto r = dataset ? core::time_between_failures(*dataset, scope)
+                             : core::time_between_failures(event_store, scope);
       const char* scope_name = scope == core::Scope::kShelf ? "shelf" : "raid-group";
       for (std::size_t s = 0; s < core::kSeriesCount; ++s) {
         const std::string label =
@@ -218,7 +273,10 @@ int cmd_analyze(const Args& args) {
     core::TextTable table(
         {"scope", "type", "windows", "P(1)", "P(2)", "theory P(2)", "factor"});
     for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
-      for (const auto& r : core::failure_correlation_all_types(*dataset, scope)) {
+      const auto results = dataset
+                               ? core::failure_correlation_all_types(*dataset, scope)
+                               : core::failure_correlation_all_types(event_store, scope);
+      for (const auto& r : results) {
         table.add_row({scope == core::Scope::kShelf ? "shelf" : "raid-group",
                        std::string(model::to_string(r.type)),
                        std::to_string(r.windows_observed),
@@ -362,6 +420,181 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+int cmd_store_build(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) return usage();
+  const std::string log_path = args.get("logs");
+  const std::string snap_path = args.get("snapshot");
+  const bool from_logs = !log_path.empty() && !snap_path.empty();
+  // Provenance recorded in the header; unknown (0) when converting foreign
+  // log/snapshot artifacts unless given explicitly.
+  const auto seed = static_cast<std::uint64_t>(args.get_double("seed", from_logs ? 0 : 20080226));
+  const double scale = args.get_double("scale", from_logs ? 0.0 : 0.1);
+
+  std::optional<core::SimulationDataset> run;
+  if (from_logs) {
+    std::ifstream logs(log_path);
+    if (!logs) {
+      std::cerr << "cannot read " << log_path << "\n";
+      return 1;
+    }
+    std::vector<log::LogRecord> records;
+    const auto parse_stats = log::parse_stream(logs, records);
+    std::ifstream snap(snap_path);
+    if (!snap) {
+      std::cerr << "cannot read " << snap_path << "\n";
+      return 1;
+    }
+    auto snapshot = log::parse_snapshot(snap);
+    if (!snapshot.ok()) {
+      std::cerr << "snapshot error: " << snapshot.error << "\n";
+      return 1;
+    }
+    log::ClassifierStats cstats;
+    auto failures = log::classify(records, {}, &cstats);
+    core::PipelineStats pipeline;
+    pipeline.log_lines_written = parse_stats.lines_total;
+    pipeline.log_lines_parsed = parse_stats.lines_parsed;
+    pipeline.raid_records = cstats.raid_records;
+    pipeline.failures_classified = failures.size();
+    pipeline.duplicates_dropped = cstats.duplicates_dropped;
+    pipeline.missing_disk_dropped = cstats.missing_disk_dropped;
+    run.emplace(core::SimulationDataset{
+        core::Dataset(std::make_shared<log::Inventory>(std::move(snapshot.inventory)),
+                      std::move(failures)),
+        sim::SimCounters{}, pipeline});
+  } else {
+    std::cerr << "simulating the standard fleet at scale " << scale << " (seed " << seed
+              << ")...\n";
+    run.emplace(core::simulate_and_analyze(model::standard_fleet_config(scale, seed)));
+  }
+
+  const auto err = core::write_store(out, *run, seed, scale);
+  if (!err.ok()) {
+    std::cerr << "cannot write store " << out << ": " << err.describe() << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << run->dataset.events().size() << "-event store ("
+            << run->dataset.inventory().disks.size() << " disk records) to " << out << "\n";
+  return 0;
+}
+
+int cmd_store_query(const Args& args) {
+  const std::string path = args.get("store");
+  if (path.empty()) return usage();
+  store::EventStore es;
+  if (!open_store(path, es)) return 1;
+
+  store::Query query;
+  const std::string type = args.get("type");
+  if (!type.empty()) {
+    const auto parsed = model::parse_failure_type(type);
+    if (!parsed) {
+      std::cerr << "unknown failure type '" << type << "'\n";
+      return 1;
+    }
+    query.failure_type = parsed;
+  }
+  const std::string cls = args.get("class");
+  if (!cls.empty()) {
+    const auto parsed = model::parse_system_class(cls);
+    if (!parsed) {
+      std::cerr << "unknown system class '" << cls << "'\n";
+      return 1;
+    }
+    query.system_class = parsed;
+  }
+  const std::string family = args.get("family");
+  if (!family.empty()) {
+    if (family.size() != 1) {
+      std::cerr << "disk family must be a single letter, got '" << family << "'\n";
+      return 1;
+    }
+    query.disk_family = family[0];
+  }
+  if (args.options.contains("from-days")) {
+    query.time_begin = args.get_double("from-days", 0.0) * model::kSecondsPerDay;
+  }
+  if (args.options.contains("to-days")) {
+    query.time_end = args.get_double("to-days", 0.0) * model::kSecondsPerDay;
+  }
+  const std::string group = args.get("group-by");
+  if (group == "class") {
+    query.group_by = store::Query::GroupBy::kSystemClass;
+  } else if (group == "type") {
+    query.group_by = store::Query::GroupBy::kFailureType;
+  } else if (group == "family") {
+    query.group_by = store::Query::GroupBy::kDiskFamily;
+  } else if (!group.empty()) {
+    std::cerr << "unknown group-by '" << group << "' (want class|type|family)\n";
+    return 1;
+  }
+
+  const auto result = store::run_query(es, query);
+  core::TextTable table({"group", "disk", "interconnect", "protocol", "performance",
+                         "events", "disk-years", "AFR %"});
+  for (const auto& g : result.groups) {
+    table.add_row(
+        {g.label, std::to_string(g.events_by_type[0]), std::to_string(g.events_by_type[1]),
+         std::to_string(g.events_by_type[2]), std::to_string(g.events_by_type[3]),
+         std::to_string(g.events),
+         g.disk_years > 0.0 ? core::fmt(g.disk_years, 0) : std::string("-"),
+         g.disk_years > 0.0 ? core::fmt(g.afr_pct, 2) : std::string("-")});
+  }
+  print(table, args);
+  std::cerr << "scanned " << result.stats.rows_scanned << " rows in "
+            << result.stats.blocks_scanned << " blocks (" << result.stats.blocks_pruned
+            << " pruned by the time index), matched " << result.stats.rows_matched << "\n";
+  return 0;
+}
+
+int cmd_store_stats(const Args& args) {
+  const std::string path = args.get("store");
+  if (path.empty()) return usage();
+  store::EventStore es;
+  if (!open_store(path, es)) return 1;
+  const auto& h = es.header();
+  const auto& m = es.meta();
+  const auto& exposure = es.exposure();
+
+  core::TextTable header({"field", "value"});
+  header.add_row({"format version", std::to_string(h.format_version)});
+  header.add_row({"file size", std::to_string(h.file_size)});
+  header.add_row({"seed", std::to_string(h.seed)});
+  header.add_row({"scale", core::fmt(h.scale, 3)});
+  header.add_row({"horizon (days)", core::fmt(h.horizon_seconds / model::kSecondsPerDay, 1)});
+  header.add_row({"events", std::to_string(h.event_count)});
+  header.add_row({"systems", std::to_string(h.system_count)});
+  header.add_row({"shelves", std::to_string(h.shelf_count)});
+  header.add_row({"disk records", std::to_string(h.disk_count)});
+  header.add_row({"RAID groups", std::to_string(h.raid_group_count)});
+  header.add_row({"disk-years", core::fmt(exposure.total_disk_years, 0)});
+  header.add_row({"log lines written", std::to_string(m.log_lines_written)});
+  header.add_row({"log lines parsed", std::to_string(m.log_lines_parsed)});
+  header.add_row({"failures classified", std::to_string(m.failures_classified)});
+  header.add_row({"duplicates dropped", std::to_string(m.duplicates_dropped)});
+  print(header, args);
+
+  core::TextTable shards({"class", "events", "blocks", "systems", "disk-years"});
+  for (const auto cls : model::kAllSystemClasses) {
+    const std::size_t c = model::index_of(cls);
+    shards.add_row({std::string(model::to_string(cls)),
+                    std::to_string(es.events(cls).size()),
+                    std::to_string(es.blocks(cls).size()),
+                    std::to_string(exposure.class_system_count[c]),
+                    core::fmt(exposure.class_disk_years[c], 0)});
+  }
+  print(shards, args);
+  return 0;
+}
+
+int cmd_store(const Args& args) {
+  if (args.subcommand == "build") return cmd_store_build(args);
+  if (args.subcommand == "query") return cmd_store_query(args);
+  if (args.subcommand == "stats") return cmd_store_stats(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -374,5 +607,6 @@ int main(int argc, char** argv) {
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "inspect") return cmd_inspect(args);
   if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "store") return cmd_store(args);
   return usage();
 }
