@@ -77,8 +77,9 @@ void report(const bench::Options& options) {
   for (const auto& k : knockouts()) {
     auto fs = sim::run_mechanism_ablation(k.toggles, scale, options.seed);
     const auto ds = core::dataset_in_memory(fs.fleet, fs.result);
-    const auto corr = core::failure_correlation_all_types(ds, core::Scope::kShelf);
-    const auto tbf = core::time_between_failures(ds, core::Scope::kShelf);
+    const core::Source source(ds);
+    const auto corr = core::failure_correlation_all_types(source, core::Scope::kShelf);
+    const auto tbf = core::time_between_failures(source, core::Scope::kShelf);
     table.add_row(
         {k.name, core::fmt(corr[0].correlation_factor(), 1) + "x",
          core::fmt(corr[1].correlation_factor(), 1) + "x",
@@ -118,5 +119,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/ablation_mechanisms", options);
   return 0;
 }

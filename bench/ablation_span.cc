@@ -35,15 +35,16 @@ void report(const bench::Options& options) {
     const double avg_span =
         total_span / static_cast<double>(fs.fleet.raid_groups().size());
 
-    const auto group_tbf = core::time_between_failures(ds, core::Scope::kRaidGroup);
-    const auto shelf_tbf = core::time_between_failures(ds, core::Scope::kShelf);
-    const auto pi = core::failure_correlation(ds, core::Scope::kRaidGroup,
+    const core::Source source(ds);
+    const auto group_tbf = core::time_between_failures(source, core::Scope::kRaidGroup);
+    const auto shelf_tbf = core::time_between_failures(source, core::Scope::kShelf);
+    const auto pi = core::failure_correlation(source, core::Scope::kRaidGroup,
                                               model::FailureType::kPhysicalInterconnect);
     // "Overall" correlation: pool every failure type into one stream by
     // reusing the per-type machinery on the dominant type plus the pooled
     // burstiness metric; report the PI factor (the bursty component RAID
     // actually has to survive).
-    const auto disk = core::failure_correlation(ds, core::Scope::kRaidGroup,
+    const auto disk = core::failure_correlation(source, core::Scope::kRaidGroup,
                                                 model::FailureType::kDisk);
     table.add_row({std::to_string(span), core::fmt(avg_span, 2),
                    std::to_string(fs.fleet.raid_groups().size()),
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/ablation_span", options);
   return 0;
 }

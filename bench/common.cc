@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/store_bridge.h"
+#include "obs/obs.h"
 #include "store/reader.h"
 #include "util/parallel.h"
 
@@ -34,13 +35,44 @@ Options parse_options(int& argc, char** argv) {
       options.threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
     } else if (arg.starts_with("--store=")) {
       options.store = std::string(arg.substr(8));
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg.starts_with("--trace=")) {
+      options.trace = std::string(arg.substr(8));
+    } else if (arg.starts_with("--manifest=")) {
+      options.manifest = std::string(arg.substr(11));
     } else {
       argv[out++] = argv[i];  // leave for google-benchmark
     }
   }
   argc = out;
   util::set_thread_count(options.threads);
+  if (!options.trace.empty()) obs::set_tracing_enabled(true);
   return options;
+}
+
+void finish_run(const std::string& tool, const Options& options,
+                const std::vector<std::pair<std::string, double>>& numbers) {
+  if (!options.trace.empty() && !obs::write_trace_json(options.trace)) {
+    std::cerr << "cannot write trace " << options.trace << "\n";
+    std::exit(1);
+  }
+  if (!options.manifest.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = tool;
+    manifest.seed = options.seed;
+    manifest.scale = options.scale;
+    manifest.threads = util::thread_count();
+    if (!options.store.empty()) manifest.info.emplace_back("store", options.store);
+    manifest.numbers = numbers;
+    if (!obs::write_manifest(options.manifest, manifest)) {
+      std::cerr << "cannot write manifest " << options.manifest << "\n";
+      std::exit(1);
+    }
+  }
+  if (options.metrics) {
+    std::cerr << obs::registry().snapshot().to_text();
+  }
 }
 
 const core::SimulationDataset& standard_dataset(const Options& options) {

@@ -19,11 +19,18 @@
 //                          (see docs/STORE.md) instead of simulating;
 //                          --scale/--seed are ignored for the report
 //   --csv                  print tables as CSV instead of aligned text
+//   --metrics              print the obs metric snapshot to stderr at exit
+//   --trace=<path>         write a Chrome trace_event JSON of recorded spans
+//   --manifest=<path>      write a run-manifest JSON (provenance + metrics);
+//                          harnesses that take --out=X.json default this to
+//                          X.manifest.json
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/afr.h"
 #include "core/pipeline.h"
@@ -38,10 +45,22 @@ struct Options {
   std::string store;     ///< non-empty: mmap this store file, skip simulation
   bool run_benchmarks = true;
   bool csv = false;
+  bool metrics = false;   ///< print the metric snapshot to stderr at exit
+  std::string trace;      ///< non-empty: write the Chrome trace here
+  std::string manifest;   ///< non-empty: write the run manifest here
 };
 
 /// Parses and strips our flags from argv (google-benchmark parses the rest).
+/// Tracing is enabled immediately when --trace is present, so spans recorded
+/// during the report are captured.
 Options parse_options(int& argc, char** argv);
+
+/// Writes the run artifacts the options ask for: the trace JSON, the run
+/// manifest (provenance + named numbers + metric snapshot), and the --metrics
+/// stderr dump. Call once at the end of main; `numbers` carries the harness's
+/// headline measurements (wall times, speedups, ...).
+void finish_run(const std::string& tool, const Options& options,
+                const std::vector<std::pair<std::string, double>>& numbers = {});
 
 /// Simulates the standard fleet and caches the result keyed on
 /// (scale, seed); the text-log round-trip is included so the report measures

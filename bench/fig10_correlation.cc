@@ -23,7 +23,7 @@ void panel(const core::Dataset& ds, core::Scope scope, const char* title,
   core::TextTable table({"failure type", "windows", "P(1)", "empirical P(2) (99.5% CI)",
                          "theoretical P(2)", "factor", "z", "significant@99.5%",
                          "paper factor"});
-  for (const auto& r : core::failure_correlation_all_types(ds, scope)) {
+  for (const auto& r : core::failure_correlation_all_types(core::Source(ds), scope)) {
     const auto ci = r.empirical_p2_ci(0.995);
     const char* paper_factor = r.type == model::FailureType::kDisk ? "~6x" : "10-25x";
     table.add_row({std::string(model::to_string(r.type)),
@@ -71,8 +71,9 @@ void sensitivity_panel(const core::Dataset& ds, const bench::Options& options) {
                  {"2 years", 2.0 * model::kSecondsPerYear}};
   for (const auto& w : windows) {
     std::vector<std::string> row = {w.label};
-    for (const auto& r :
-         core::failure_correlation_all_types(ds, core::Scope::kShelf, w.seconds)) {
+    for (const auto& r : core::failure_correlation_all_types(core::Source(ds),
+                                                             core::Scope::kShelf,
+                                                             w.seconds)) {
       row.push_back(core::fmt(r.correlation_factor(), 1) + "x");
     }
     table.add_row(std::move(row));
@@ -89,7 +90,8 @@ void sensitivity_panel(const core::Dataset& ds, const bench::Options& options) {
     const auto cohort = ds.filter(f);
     if (cohort.selected_system_count() == 0) continue;
     std::vector<std::string> row = {std::string(model::to_string(cls))};
-    for (const auto& r : core::failure_correlation_all_types(cohort, core::Scope::kShelf)) {
+    for (const auto& r :
+         core::failure_correlation_all_types(core::Source(cohort), core::Scope::kShelf)) {
       row.push_back(core::fmt(r.correlation_factor(), 1) + "x");
     }
     by_class.add_row(std::move(row));
@@ -159,7 +161,8 @@ void BM_CorrelationAllTypes(benchmark::State& state) {
       model::standard_fleet_config(bench::kTimingScale, 1));
   for (auto _ : state) {
     const auto rows = core::failure_correlation_all_types(
-        sd.dataset, state.range(0) == 0 ? core::Scope::kShelf : core::Scope::kRaidGroup);
+        core::Source(sd.dataset),
+        state.range(0) == 0 ? core::Scope::kShelf : core::Scope::kRaidGroup);
     benchmark::DoNotOptimize(rows.size());
   }
 }
@@ -185,5 +188,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/fig10_correlation", options);
   return 0;
 }

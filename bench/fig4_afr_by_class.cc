@@ -37,7 +37,7 @@ void panel(const core::Dataset& ds, const char* title, bool with_paper,
                                       "disk share",  "PI share"};
   if (with_paper) headers.push_back("paper disk/PI/total");
   core::TextTable table(std::move(headers));
-  for (const auto& b : core::afr_by_class(ds)) {
+  for (const auto& b : core::afr_by_class(core::Source(ds))) {
     std::vector<std::string> row = {
         b.label,
         bench::afr_cell(b, FailureType::kDisk),
@@ -85,7 +85,8 @@ void BM_AfrByClass(benchmark::State& state) {
   core::Filter no_h;
   no_h.exclude_family_h = true;
   for (auto _ : state) {
-    const auto rows = core::afr_by_class(sd.dataset.filter(no_h));
+    const auto cohort = sd.dataset.filter(no_h);
+    const auto rows = core::afr_by_class(core::Source(cohort));
     benchmark::DoNotOptimize(rows.size());
   }
 }
@@ -112,5 +113,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/fig4_afr_by_class", options);
   return 0;
 }

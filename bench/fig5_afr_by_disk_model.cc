@@ -118,5 +118,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/fig5_afr_by_disk_model", options);
   return 0;
 }

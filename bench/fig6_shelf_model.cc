@@ -107,5 +107,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/fig6_shelf_model", options);
   return 0;
 }

@@ -103,5 +103,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/fig7_multipath", options);
   return 0;
 }

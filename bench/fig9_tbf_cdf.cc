@@ -23,7 +23,7 @@ using model::FailureType;
 
 void cdf_panel(const core::Dataset& ds, core::Scope scope, const char* title,
                const bench::Options& options) {
-  const auto result = core::time_between_failures(ds, scope);
+  const auto result = core::time_between_failures(core::Source(ds), scope);
   std::cout << title << "\n";
 
   const auto grid = stats::log_grid(1.0, 1e8, 9);
@@ -49,7 +49,7 @@ void cdf_panel(const core::Dataset& ds, core::Scope scope, const char* title,
 }
 
 void fits_panel(const core::Dataset& ds, const bench::Options& options) {
-  const auto shelf = core::time_between_failures(ds, core::Scope::kShelf);
+  const auto shelf = core::time_between_failures(core::Source(ds), core::Scope::kShelf);
   std::cout << "Distribution fits to per-shelf interarrival gaps "
                "(chi-square GoF on a 150-sample cap; see EXPERIMENTS.md on test power)\n";
   core::TextTable table({"failure type", "family", "param1 (rate/shape)", "param2 (scale)",
@@ -85,8 +85,9 @@ void per_class_panel(const core::Dataset& ds, const bench::Options& options) {
     f.system_class = cls;
     const auto cohort = ds.filter(f);
     if (cohort.selected_system_count() == 0) continue;
-    const auto shelf = core::time_between_failures(cohort, core::Scope::kShelf);
-    const auto group = core::time_between_failures(cohort, core::Scope::kRaidGroup);
+    const core::Source source(cohort);
+    const auto shelf = core::time_between_failures(source, core::Scope::kShelf);
+    const auto group = core::time_between_failures(source, core::Scope::kRaidGroup);
     table.add_row(
         {std::string(model::to_string(cls)),
          core::fmt_pct(shelf.fraction_within(core::kOverallSeries, 1e4), 0),
@@ -115,7 +116,8 @@ void BM_TimeBetweenFailures(benchmark::State& state) {
       model::standard_fleet_config(bench::kTimingScale, 1));
   for (auto _ : state) {
     const auto r = core::time_between_failures(
-        sd.dataset, state.range(0) == 0 ? core::Scope::kShelf : core::Scope::kRaidGroup);
+        core::Source(sd.dataset),
+        state.range(0) == 0 ? core::Scope::kShelf : core::Scope::kRaidGroup);
     benchmark::DoNotOptimize(r.gap_count(core::kOverallSeries));
   }
 }
@@ -124,7 +126,7 @@ BENCHMARK(BM_TimeBetweenFailures)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
 void BM_DistributionFits(benchmark::State& state) {
   const auto sd = core::simulate_and_analyze(
       model::standard_fleet_config(bench::kTimingScale, 1));
-  const auto shelf = core::time_between_failures(sd.dataset, core::Scope::kShelf);
+  const auto shelf = core::time_between_failures(core::Source(sd.dataset), core::Scope::kShelf);
   const auto& gaps = shelf.gaps[core::kOverallSeries];
   for (auto _ : state) {
     const auto report = core::fit_interarrivals(gaps, 15, 150);
@@ -142,5 +144,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/fig9_tbf_cdf", options);
   return 0;
 }

@@ -50,7 +50,7 @@ void report(const bench::Options& options) {
       f.exclude_family_h = true;
     }
     const auto cohort = sd.dataset.filter(f);
-    const auto report = core::disk_lifetime_report(cohort);
+    const auto report = core::disk_lifetime_report(core::Source(cohort));
     std::cout << (type == model::DiskType::kSata ? "SATA (near-line)" : "FC (low-end)")
               << ": " << report.disks << " disk records, " << report.failures
               << " disk failures, " << core::fmt_pct(report.censored_fraction, 1)
@@ -74,7 +74,8 @@ void report(const bench::Options& options) {
   const auto ds = core::dataset_in_memory(fs.fleet, fs.result);
   core::Filter nearline;
   nearline.system_class = model::SystemClass::kNearLine;
-  hazard_table(core::disk_lifetime_report(ds.filter(nearline)), options);
+  const auto nearline_cohort = ds.filter(nearline);
+  hazard_table(core::disk_lifetime_report(core::Source(nearline_cohort)), options);
   std::cout << "Default parameters keep the hazard flat with age (consistent with the "
                "paper's age-free disk model and Finding 5); the ablation shows how a "
                "bathtub edge would surface in the same tables.\n";
@@ -84,7 +85,7 @@ void BM_LifetimeReport(benchmark::State& state) {
   const auto sd = core::simulate_and_analyze(
       model::standard_fleet_config(bench::kTimingScale, 1));
   for (auto _ : state) {
-    const auto r = core::disk_lifetime_report(sd.dataset);
+    const auto r = core::disk_lifetime_report(core::Source(sd.dataset));
     benchmark::DoNotOptimize(r.failures);
   }
 }
@@ -93,7 +94,7 @@ BENCHMARK(BM_LifetimeReport)->Unit(benchmark::kMillisecond);
 void BM_KaplanMeierFit(benchmark::State& state) {
   const auto sd = core::simulate_and_analyze(
       model::standard_fleet_config(bench::kTimingScale, 1));
-  const auto observations = core::disk_lifetime_observations(sd.dataset);
+  const auto observations = core::disk_lifetime_observations(core::Source(sd.dataset));
   for (auto _ : state) {
     const auto km = storsubsim::stats::KaplanMeier::fit(observations);
     benchmark::DoNotOptimize(km.total_events());
@@ -110,5 +111,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/lifetime_analysis", options);
   return 0;
 }

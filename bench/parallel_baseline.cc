@@ -22,6 +22,7 @@
 
 #include "core/pipeline.h"
 #include "model/fleet_config.h"
+#include "obs/obs.h"
 #include "util/parallel.h"
 
 namespace {
@@ -143,6 +144,29 @@ int main(int argc, char** argv) {
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
+
+  // Provenance manifest next to the result file (BENCH_parallel.manifest.json).
+  obs::RunManifest manifest;
+  manifest.tool = "bench/parallel_baseline";
+  manifest.seed = seed;
+  manifest.scale = rows.empty() ? 0.0 : rows.back().scale;
+  manifest.threads = threads;
+  manifest.info.emplace_back("out", out_path);
+  for (const Measurement& m : rows) {
+    const std::string prefix = "scale_" + std::to_string(m.scale) + ".";
+    manifest.numbers.emplace_back(prefix + "serial_seconds", m.serial_seconds);
+    manifest.numbers.emplace_back(prefix + "parallel_seconds", m.parallel_seconds);
+    manifest.numbers.emplace_back(prefix + "speedup", m.serial_seconds / m.parallel_seconds);
+  }
+  std::string manifest_path = out_path;
+  if (manifest_path.ends_with(".json")) {
+    manifest_path.resize(manifest_path.size() - 5);
+  }
+  manifest_path += ".manifest.json";
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    std::cerr << "cannot write manifest " << manifest_path << "\n";
+    return 1;
+  }
 
   bool all_identical = true;
   for (const Measurement& m : rows) all_identical = all_identical && m.identical;

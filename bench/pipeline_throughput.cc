@@ -15,8 +15,11 @@
 // apples-to-apples. Results go to BENCH_pipeline.json.
 //
 //   pipeline_throughput [--scale=<f>] [--seed=<n>] [--repeat=<n>] [--out=<path>]
+//                       [--metrics] [--trace=<path>]
 //
-// --repeat keeps the fastest of n runs per stage (min-of-N).
+// --repeat keeps the fastest of n runs per stage (min-of-N). --metrics and
+// --trace turn the full observability stack on; tools/run_checks.sh runs the
+// harness with and without them and gates the overhead at <2%.
 #include <algorithm>
 #include <charconv>
 #include <chrono>
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "log/classifier.h"
+#include "obs/obs.h"
 #include "log/emitter.h"
 #include "log/line_writer.h"
 #include "log/parser.h"
@@ -301,6 +305,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 20080226;
   int repeat = 3;
   std::string out_path = "BENCH_pipeline.json";
+  bool metrics = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--scale=")) {
@@ -311,9 +317,14 @@ int main(int argc, char** argv) {
       repeat = static_cast<int>(std::stoul(std::string(arg.substr(9))));
     } else if (arg.starts_with("--out=")) {
       out_path = std::string(arg.substr(6));
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg.starts_with("--trace=")) {
+      trace_path = std::string(arg.substr(8));
     }
   }
   if (repeat < 1) repeat = 1;
+  if (!trace_path.empty()) obs::set_tracing_enabled(true);
 
   util::set_thread_count(1);  // apples-to-apples single-threaded comparison
   const auto config = model::standard_fleet_config(scale, seed);
@@ -426,6 +437,32 @@ int main(int argc, char** argv) {
       << "  \"classification_identical\": " << (classification_identical ? "true" : "false")
       << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
+
+  // Provenance manifest next to the result file (BENCH_pipeline.manifest.json).
+  obs::RunManifest manifest;
+  manifest.tool = "bench/pipeline_throughput";
+  manifest.seed = seed;
+  manifest.scale = scale;
+  manifest.threads = 1;
+  manifest.info.emplace_back("out", out_path);
+  manifest.numbers.emplace_back("log_lines", static_cast<double>(lines));
+  manifest.numbers.emplace_back("legacy_emit_parse_seconds", legacy_ep);
+  manifest.numbers.emplace_back("fast_emit_parse_seconds", fast_ep);
+  manifest.numbers.emplace_back("emit_parse_speedup", speedup);
+  std::string manifest_path = out_path;
+  if (manifest_path.ends_with(".json")) {
+    manifest_path.resize(manifest_path.size() - 5);
+  }
+  manifest_path += ".manifest.json";
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    std::cerr << "cannot write manifest " << manifest_path << "\n";
+    return 1;
+  }
+  if (!trace_path.empty() && !obs::write_trace_json(trace_path)) {
+    std::cerr << "cannot write trace " << trace_path << "\n";
+    return 1;
+  }
+  if (metrics) std::cerr << obs::registry().snapshot().to_text();
 
   return (bytes_identical && classification_identical) ? 0 : 1;
 }

@@ -117,5 +117,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/prediction_eval", options);
   return 0;
 }

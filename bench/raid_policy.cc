@@ -101,5 +101,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(options);
+  bench::finish_run("bench/raid_policy", options);
   return 0;
 }

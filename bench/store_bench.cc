@@ -29,6 +29,7 @@
 
 #include "core/afr.h"
 #include "core/pipeline.h"
+#include "obs/obs.h"
 #include "core/store_bridge.h"
 #include "model/fleet_config.h"
 #include "store/query.h"
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
   std::cout << "scale " << scale << ": " << run.dataset.events().size() << " failures, "
             << run.dataset.inventory().disks.size() << " disk records ("
             << pipeline_seconds << " s full pipeline)\n";
-  const auto reference = core::afr_by_class(run.dataset);
+  const auto reference = core::afr_by_class(core::Source(run.dataset));
 
   // Build cost (paid once per simulation).
   double build_seconds = 0.0;
@@ -125,7 +126,7 @@ int main(int argc, char** argv) {
       std::cerr << "FAIL: cannot open store: " << err.describe() << "\n";
       return 1;
     }
-    auto breakdown = core::afr_by_class(es);
+    auto breakdown = core::afr_by_class(core::Source(es));
     store::Query query;
     query.group_by = store::Query::GroupBy::kSystemClass;
     auto result = store::run_query(es, query);
@@ -176,6 +177,29 @@ int main(int argc, char** argv) {
       << "  \"breakdown_identical\": " << (breakdown_identical ? "true" : "false") << ",\n"
       << "  \"query_identical\": " << (query_identical ? "true" : "false") << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
+
+  // Provenance manifest next to the result file (BENCH_store.manifest.json).
+  obs::RunManifest manifest;
+  manifest.tool = "bench/store_bench";
+  manifest.seed = seed;
+  manifest.scale = scale;
+  manifest.threads = util::thread_count();
+  manifest.info.emplace_back("store", store_path);
+  manifest.info.emplace_back("out", out_path);
+  manifest.numbers.emplace_back("pipeline_seconds", pipeline_seconds);
+  manifest.numbers.emplace_back("store_build_seconds", build_seconds);
+  manifest.numbers.emplace_back("rerun_open_query_seconds", rerun_seconds);
+  manifest.numbers.emplace_back("rerun_speedup", speedup);
+  manifest.numbers.emplace_back("store_bytes", static_cast<double>(file_bytes));
+  std::string manifest_path = out_path;
+  if (manifest_path.ends_with(".json")) {
+    manifest_path.resize(manifest_path.size() - 5);
+  }
+  manifest_path += ".manifest.json";
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    std::cerr << "cannot write manifest " << manifest_path << "\n";
+    return 1;
+  }
 
   return (breakdown_identical && query_identical) ? 0 : 1;
 }

@@ -147,5 +147,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   report(g_options);
+  bench::finish_run("bench/table1_overview", g_options);
   return 0;
 }

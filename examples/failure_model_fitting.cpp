@@ -14,6 +14,7 @@
 #include "core/distribution_fit.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/source.h"
 #include "model/fleet_config.h"
 #include "stats/ecdf.h"
 
@@ -23,7 +24,7 @@ int main() {
   const auto sd = core::simulate_and_analyze(model::standard_fleet_config(0.15, 7),
                                              sim::SimParams::standard(),
                                              /*through_text_logs=*/false);
-  const auto tbf = core::time_between_failures(sd.dataset, core::Scope::kShelf);
+  const auto tbf = core::time_between_failures(core::Source(sd.dataset), core::Scope::kShelf);
 
   std::cout << "Fitting interarrival models to per-shelf failure gaps ("
             << sd.dataset.events().size() << " failures)\n\n";

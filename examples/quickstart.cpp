@@ -13,6 +13,7 @@
 #include "core/correlation.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/source.h"
 #include "model/fleet_config.h"
 
 using namespace storsubsim;
@@ -37,7 +38,8 @@ int main() {
   std::cout << "AFR by system class (percent per disk-year):\n";
   core::TextTable table({"class", "disk", "interconnect", "protocol", "performance",
                          "subsystem total"});
-  for (const auto& b : core::afr_by_class(dataset)) {
+  const core::Source source(dataset);
+  for (const auto& b : core::afr_by_class(source)) {
     table.add_row({b.label, core::fmt(b.afr_pct(model::FailureType::kDisk), 2),
                    core::fmt(b.afr_pct(model::FailureType::kPhysicalInterconnect), 2),
                    core::fmt(b.afr_pct(model::FailureType::kProtocol), 2),
@@ -47,13 +49,13 @@ int main() {
   table.print(std::cout);
 
   // 4. Are failures bursty? (paper Finding 8)
-  const auto tbf = core::time_between_failures(dataset, core::Scope::kShelf);
+  const auto tbf = core::time_between_failures(source, core::Scope::kShelf);
   std::cout << "\nConsecutive failures in the same shelf within 10,000 s: "
             << core::fmt_pct(tbf.fraction_within(core::kOverallSeries, 1e4), 1)
             << " of gaps — failures cluster; plan resiliency accordingly.\n";
 
   // 5. Are failures independent? (paper Finding 11)
-  const auto corr = core::failure_correlation(dataset, core::Scope::kShelf,
+  const auto corr = core::failure_correlation(source, core::Scope::kShelf,
                                               model::FailureType::kPhysicalInterconnect);
   std::cout << "Interconnect failures per shelf-year: empirical P(2) is "
             << core::fmt(corr.correlation_factor(), 1)

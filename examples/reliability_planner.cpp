@@ -23,6 +23,7 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "core/significance.h"
+#include "core/source.h"
 #include "core/store_bridge.h"
 #include "model/fleet_config.h"
 #include "sim/scenario.h"
@@ -69,7 +70,7 @@ void fleet_baseline(int argc, char** argv) {
   if (argc > 1) {
     store::EventStore es;
     if (const auto err = es.open(argv[1]); err.ok()) {
-      print_baseline(core::afr_by_class(es), argv[1]);
+      print_baseline(core::afr_by_class(core::Source(es)), argv[1]);
       return;
     } else {
       std::cerr << "cannot open store " << argv[1] << ": " << err.describe()
@@ -77,7 +78,7 @@ void fleet_baseline(int argc, char** argv) {
     }
   }
   const auto run = core::simulate_and_analyze(model::standard_fleet_config(0.1, 20080226));
-  print_baseline(core::afr_by_class(run.dataset), "simulated, --scale=0.1");
+  print_baseline(core::afr_by_class(core::Source(run.dataset)), "simulated, --scale=0.1");
 }
 
 }  // namespace
@@ -118,16 +119,16 @@ int main(int argc, char** argv) {
     wide.raid_span_shelves = 3;
     const auto ds_narrow = simulate(narrow, 1003);
     const auto ds_wide = simulate(wide, 1004);
-    const auto b_narrow = core::time_between_failures(ds_narrow, core::Scope::kRaidGroup);
-    const auto b_wide = core::time_between_failures(ds_wide, core::Scope::kRaidGroup);
+    const auto b_narrow = core::time_between_failures(core::Source(ds_narrow), core::Scope::kRaidGroup);
+    const auto b_wide = core::time_between_failures(core::Source(ds_wide), core::Scope::kRaidGroup);
     std::cout << "(b) RAID group placement\n";
     core::TextTable t({"option", "group failures within 10^4 s", "subsystem AFR"});
     t.add_row({"group within one shelf",
                core::fmt_pct(b_narrow.fraction_within(core::kOverallSeries, 1e4), 1),
-               core::fmt(core::compute_afr(ds_narrow).total_afr_pct(), 2) + "%"});
+               core::fmt(core::compute_afr(core::Source(ds_narrow)).total_afr_pct(), 2) + "%"});
     t.add_row({"group spanning 3 shelves",
                core::fmt_pct(b_wide.fraction_within(core::kOverallSeries, 1e4), 1),
-               core::fmt(core::compute_afr(ds_wide).total_afr_pct(), 2) + "%"});
+               core::fmt(core::compute_afr(core::Source(ds_wide)).total_afr_pct(), 2) + "%"});
     t.print(std::cout);
     std::cout << "    spanning does not change the failure *rate*, but failures inside one\n"
               << "    group arrive far less bunched -> fewer windows where a second failure\n"

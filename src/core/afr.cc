@@ -21,6 +21,40 @@ AfrBreakdown accumulate(const Dataset& dataset, std::string label) {
   return b;
 }
 
+AfrBreakdown accumulate(const store::EventStore& store, std::string label) {
+  AfrBreakdown b;
+  b.label = std::move(label);
+  b.disk_years = store.exposure().total_disk_years;
+  for (const auto cls : model::kAllSystemClasses) {
+    for (const auto type : store.events(cls).type) ++b.events[type];
+  }
+  return b;
+}
+
+std::vector<AfrBreakdown> by_class(const Dataset& dataset) {
+  std::vector<AfrBreakdown> out;
+  for (const auto cls : model::kAllSystemClasses) {
+    Filter f;
+    f.system_class = cls;
+    const Dataset cohort = dataset.filter(f);
+    if (cohort.selected_system_count() == 0) continue;
+    out.push_back(compute_afr(cohort, std::string(model::to_string(cls))));
+  }
+  return out;
+}
+
+std::vector<AfrBreakdown> by_class(const store::EventStore& store) {
+  std::vector<AfrBreakdown> out;
+  for (const auto cls : model::kAllSystemClasses) {
+    const std::size_t c = model::index_of(cls);
+    if (store.exposure().class_system_count[c] == 0) continue;  // empty cohort
+    out.push_back(compute_afr(store.events(cls),
+                              store.exposure().class_disk_years[c],
+                              std::string(model::to_string(cls))));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::size_t AfrBreakdown::total_events() const {
@@ -51,8 +85,9 @@ stats::Interval AfrBreakdown::afr_ci(FailureType type, double confidence) const 
   return stats::Interval{100.0 * ci.lower, 100.0 * ci.upper, 100.0 * ci.point};
 }
 
-AfrBreakdown compute_afr(const Dataset& dataset, std::string label) {
-  return accumulate(dataset, std::move(label));
+AfrBreakdown compute_afr(const Source& source, std::string label) {
+  if (const Dataset* d = source.dataset()) return accumulate(*d, std::move(label));
+  return accumulate(*source.store(), std::move(label));
 }
 
 AfrBreakdown compute_afr(const store::EventView& events, double disk_years,
@@ -64,38 +99,9 @@ AfrBreakdown compute_afr(const store::EventView& events, double disk_years,
   return b;
 }
 
-AfrBreakdown compute_afr(const store::EventStore& store, std::string label) {
-  AfrBreakdown b;
-  b.label = std::move(label);
-  b.disk_years = store.exposure().total_disk_years;
-  for (const auto cls : model::kAllSystemClasses) {
-    for (const auto type : store.events(cls).type) ++b.events[type];
-  }
-  return b;
-}
-
-std::vector<AfrBreakdown> afr_by_class(const store::EventStore& store) {
-  std::vector<AfrBreakdown> out;
-  for (const auto cls : model::kAllSystemClasses) {
-    const std::size_t c = model::index_of(cls);
-    if (store.exposure().class_system_count[c] == 0) continue;  // empty cohort
-    out.push_back(compute_afr(store.events(cls),
-                              store.exposure().class_disk_years[c],
-                              std::string(model::to_string(cls))));
-  }
-  return out;
-}
-
-std::vector<AfrBreakdown> afr_by_class(const Dataset& dataset) {
-  std::vector<AfrBreakdown> out;
-  for (const auto cls : model::kAllSystemClasses) {
-    Filter f;
-    f.system_class = cls;
-    const Dataset cohort = dataset.filter(f);
-    if (cohort.selected_system_count() == 0) continue;
-    out.push_back(compute_afr(cohort, std::string(model::to_string(cls))));
-  }
-  return out;
+std::vector<AfrBreakdown> afr_by_class(const Source& source) {
+  if (const Dataset* d = source.dataset()) return by_class(*d);
+  return by_class(*source.store());
 }
 
 std::vector<AfrBreakdown> afr_by_disk_model(const Dataset& dataset) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/source.h"
 #include "stats/intervals.h"
 #include "store/reader.h"
 
@@ -32,29 +33,38 @@ struct AfrBreakdown {
   stats::Interval afr_ci(model::FailureType type, double confidence) const;
 };
 
-/// AFR of the whole dataset.
-AfrBreakdown compute_afr(const Dataset& dataset, std::string label = {});
+/// AFR of the whole cohort — the unified entry point. Dataset-backed
+/// sources walk the in-memory events; store-backed sources read the column
+/// spans and the pre-computed exposure table, which the writer accumulated
+/// in the same order as Dataset::disk_exposure_years — the two paths are
+/// bit-identical (pinned by tests/core/source_test.cc).
+AfrBreakdown compute_afr(const Source& source, std::string label = {});
 
-/// AFR broken down by system class (paper Figure 4).
-std::vector<AfrBreakdown> afr_by_class(const Dataset& dataset);
+/// AFR broken down by system class (paper Figure 4). Classes with no
+/// systems are skipped identically on both backends.
+std::vector<AfrBreakdown> afr_by_class(const Source& source);
 
-// --- store-backed overloads -------------------------------------------------
-// The mmap fast path: counts come straight from the store's column spans and
-// the disk-year denominator from its pre-computed exposure table, which the
-// writer accumulated in the same order as Dataset::disk_exposure_years —
-// results are bit-identical to the in-memory path, without touching the
-// simulate -> emit -> parse -> classify pipeline.
-
-/// AFR of one event span with an explicit cohort denominator.
+/// AFR of one store event span with an explicit cohort denominator (the
+/// store-query aggregation path; no Dataset equivalent).
 AfrBreakdown compute_afr(const store::EventView& events, double disk_years,
                          std::string label = {});
 
-/// Whole-store AFR (all four class shards pooled).
-AfrBreakdown compute_afr(const store::EventStore& store, std::string label = {});
+// --- legacy overloads (thin shims) ------------------------------------------
+// \deprecated Pre-Source API, kept as source-compatible shims; prefer the
+// Source entry points above. See docs/API.md for the deprecation policy.
 
-/// AFR by system class from a store, matching afr_by_class(dataset)
-/// bit for bit (classes with no systems are skipped the same way).
-std::vector<AfrBreakdown> afr_by_class(const store::EventStore& store);
+inline AfrBreakdown compute_afr(const Dataset& dataset, std::string label = {}) {
+  return compute_afr(Source(dataset), std::move(label));
+}
+inline AfrBreakdown compute_afr(const store::EventStore& store, std::string label = {}) {
+  return compute_afr(Source(store), std::move(label));
+}
+inline std::vector<AfrBreakdown> afr_by_class(const Dataset& dataset) {
+  return afr_by_class(Source(dataset));
+}
+inline std::vector<AfrBreakdown> afr_by_class(const store::EventStore& store) {
+  return afr_by_class(Source(store));
+}
 
 /// AFR by disk model within one class+shelf cohort (paper Figure 5 panels).
 std::vector<AfrBreakdown> afr_by_disk_model(const Dataset& dataset);

@@ -64,9 +64,7 @@ BurstinessResult pooled_gaps(std::vector<ScopedEvent> events, Scope scope) {
   return result;
 }
 
-}  // namespace
-
-BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
+BurstinessResult gaps_of(const Dataset& dataset, Scope scope) {
   // Bucket events by scope id.
   std::vector<ScopedEvent> events;
   events.reserve(dataset.events().size());
@@ -85,7 +83,7 @@ BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
   return pooled_gaps(std::move(events), scope);
 }
 
-BurstinessResult time_between_failures(const store::EventStore& store, Scope scope) {
+BurstinessResult gaps_of(const store::EventStore& store, Scope scope) {
   // The store's event columns already carry the shelf/RAID-group join, so
   // bucketing needs no inventory lookups at all.
   std::vector<ScopedEvent> events;
@@ -104,6 +102,13 @@ BurstinessResult time_between_failures(const store::EventStore& store, Scope sco
     }
   }
   return pooled_gaps(std::move(events), scope);
+}
+
+}  // namespace
+
+BurstinessResult time_between_failures(const Source& source, Scope scope) {
+  if (const Dataset* d = source.dataset()) return gaps_of(*d, scope);
+  return gaps_of(*source.store(), scope);
 }
 
 stats::Ecdf BurstinessResult::ecdf(std::size_t series) const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/source.h"
 #include "stats/ecdf.h"
 #include "store/reader.h"
 
@@ -38,13 +39,25 @@ struct BurstinessResult {
   std::size_t gap_count(std::size_t series) const { return gaps[series].size(); }
 };
 
-BurstinessResult time_between_failures(const Dataset& dataset, Scope scope);
+/// Pooled inter-arrival gaps per scope kind — the unified entry point.
+/// Dataset-backed sources join scope ids through the inventory; store-backed
+/// sources read the pre-joined scope columns straight from the mapped file.
+/// Both feed the same gap walk, so the pooled gaps are identical. Note a
+/// store-backed Source always covers the whole (unfiltered) cohort; for
+/// filtered cohorts, reconstruct a Dataset via core::dataset_from_store and
+/// filter it.
+BurstinessResult time_between_failures(const Source& source, Scope scope);
 
-/// Store-backed overload over the whole (unfiltered) cohort: reads the
-/// pre-joined scope columns straight from the mapped file and produces the
-/// same pooled gaps as the Dataset path. For filtered cohorts, reconstruct
-/// a Dataset via core::dataset_from_store and filter it.
-BurstinessResult time_between_failures(const store::EventStore& store, Scope scope);
+// --- legacy overloads (thin shims) ------------------------------------------
+// \deprecated Pre-Source API; prefer time_between_failures(Source, Scope).
+
+inline BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
+  return time_between_failures(Source(dataset), scope);
+}
+inline BurstinessResult time_between_failures(const store::EventStore& store,
+                                              Scope scope) {
+  return time_between_failures(Source(store), scope);
+}
 
 /// Convenience index for a failure-type series.
 constexpr std::size_t series_of(model::FailureType type) { return model::index_of(type); }

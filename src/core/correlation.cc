@@ -185,35 +185,22 @@ stats::TTestResult CorrelationResult::independence_test() const {
                                     windows_observed);
 }
 
-CorrelationResult failure_correlation(const Dataset& dataset, Scope scope,
+CorrelationResult failure_correlation(const Source& source, Scope scope,
                                       model::FailureType type, double window_seconds) {
-  return result_from_counts(count_windows(dataset, scope, type, window_seconds), scope,
-                            type, window_seconds);
+  const WindowCounts wc =
+      source.dataset() != nullptr
+          ? count_windows(*source.dataset(), scope, type, window_seconds)
+          : count_windows(*source.store(), scope, type, window_seconds);
+  return result_from_counts(wc, scope, type, window_seconds);
 }
 
-CorrelationResult failure_correlation(const store::EventStore& store, Scope scope,
-                                      model::FailureType type, double window_seconds) {
-  return result_from_counts(count_windows(store, scope, type, window_seconds), scope,
-                            type, window_seconds);
-}
-
-std::vector<CorrelationResult> failure_correlation_all_types(
-    const store::EventStore& store, Scope scope, double window_seconds) {
-  std::vector<CorrelationResult> out;
-  out.reserve(model::kAllFailureTypes.size());
-  for (const auto type : model::kAllFailureTypes) {
-    out.push_back(failure_correlation(store, scope, type, window_seconds));
-  }
-  return out;
-}
-
-std::vector<CorrelationResult> failure_correlation_all_types(const Dataset& dataset,
+std::vector<CorrelationResult> failure_correlation_all_types(const Source& source,
                                                              Scope scope,
                                                              double window_seconds) {
   std::vector<CorrelationResult> out;
   out.reserve(model::kAllFailureTypes.size());
   for (const auto type : model::kAllFailureTypes) {
-    out.push_back(failure_correlation(dataset, scope, type, window_seconds));
+    out.push_back(failure_correlation(source, scope, type, window_seconds));
   }
   return out;
 }

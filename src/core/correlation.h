@@ -15,6 +15,7 @@
 
 #include "core/burstiness.h"
 #include "core/dataset.h"
+#include "core/source.h"
 #include "model/time.h"
 #include "stats/hypothesis.h"
 #include "stats/intervals.h"
@@ -46,28 +47,46 @@ struct CorrelationResult {
   stats::TTestResult independence_test() const;
 };
 
-/// Computes P(1)/P(2) statistics for one failure type. Each scope contributes
-/// floor(observed_time / window) complete windows; a scope deployed for less
-/// than one window is excluded (paper: "Only storage systems that have been
-/// in the field for one year or more are considered").
-CorrelationResult failure_correlation(const Dataset& dataset, Scope scope,
+/// Computes P(1)/P(2) statistics for one failure type — the unified entry
+/// point. Each scope contributes floor(observed_time / window) complete
+/// windows; a scope deployed for less than one window is excluded (paper:
+/// "Only storage systems that have been in the field for one year or more
+/// are considered"). Dataset-backed sources join scopes via the inventory;
+/// store-backed sources (whole, unfiltered cohort) read the mapped event and
+/// topology columns — pure integer tallies, identical on both paths.
+CorrelationResult failure_correlation(const Source& source, Scope scope,
                                       model::FailureType type,
                                       double window_seconds = model::kSecondsPerYear);
 
-/// All four types at once (one pass over the events).
+/// All four types at once.
 std::vector<CorrelationResult> failure_correlation_all_types(
-    const Dataset& dataset, Scope scope, double window_seconds = model::kSecondsPerYear);
+    const Source& source, Scope scope, double window_seconds = model::kSecondsPerYear);
 
-/// Store-backed overloads over the whole (unfiltered) cohort: window counts
-/// come from the mapped event columns and the topology columns' deployment
-/// times — pure integer tallies, identical to the Dataset path.
-CorrelationResult failure_correlation(const store::EventStore& store, Scope scope,
-                                      model::FailureType type,
-                                      double window_seconds = model::kSecondsPerYear);
+// --- legacy overloads (thin shims) ------------------------------------------
+// \deprecated Pre-Source API; prefer the Source entry points above.
 
-std::vector<CorrelationResult> failure_correlation_all_types(
+inline CorrelationResult failure_correlation(const Dataset& dataset, Scope scope,
+                                             model::FailureType type,
+                                             double window_seconds =
+                                                 model::kSecondsPerYear) {
+  return failure_correlation(Source(dataset), scope, type, window_seconds);
+}
+inline CorrelationResult failure_correlation(const store::EventStore& store,
+                                             Scope scope, model::FailureType type,
+                                             double window_seconds =
+                                                 model::kSecondsPerYear) {
+  return failure_correlation(Source(store), scope, type, window_seconds);
+}
+inline std::vector<CorrelationResult> failure_correlation_all_types(
+    const Dataset& dataset, Scope scope,
+    double window_seconds = model::kSecondsPerYear) {
+  return failure_correlation_all_types(Source(dataset), scope, window_seconds);
+}
+inline std::vector<CorrelationResult> failure_correlation_all_types(
     const store::EventStore& store, Scope scope,
-    double window_seconds = model::kSecondsPerYear);
+    double window_seconds = model::kSecondsPerYear) {
+  return failure_correlation_all_types(Source(store), scope, window_seconds);
+}
 
 /// The generalized check P(N) = P(1)^N / N! for N = 1..max_n (paper
 /// equation 4): empirical vs theoretical window fractions.

@@ -7,7 +7,9 @@
 
 namespace storsubsim::core {
 
-std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Dataset& dataset) {
+namespace {
+
+std::vector<stats::SurvivalObservation> observations_of(const Dataset& dataset) {
   // Which disks had a disk failure (the event that ends a record's life;
   // other failure types leave the disk in place).
   std::unordered_set<std::uint32_t> failed;
@@ -33,8 +35,6 @@ std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Dataset
   return out;
 }
 
-namespace {
-
 LifetimeReport report_from_observations(
     const std::vector<stats::SurvivalObservation>& observations,
     std::vector<double> age_edges_days) {
@@ -58,16 +58,7 @@ LifetimeReport report_from_observations(
   return report;
 }
 
-}  // namespace
-
-LifetimeReport disk_lifetime_report(const Dataset& dataset,
-                                    std::vector<double> age_edges_days) {
-  return report_from_observations(disk_lifetime_observations(dataset),
-                                  std::move(age_edges_days));
-}
-
-std::vector<stats::SurvivalObservation> disk_lifetime_observations(
-    const store::EventStore& store) {
+std::vector<stats::SurvivalObservation> observations_of(const store::EventStore& store) {
   std::unordered_set<std::uint32_t> failed;
   for (const auto cls : model::kAllSystemClasses) {
     const store::EventView& view = store.events(cls);
@@ -96,9 +87,16 @@ std::vector<stats::SurvivalObservation> disk_lifetime_observations(
   return out;
 }
 
-LifetimeReport disk_lifetime_report(const store::EventStore& store,
+}  // namespace
+
+std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Source& source) {
+  if (const Dataset* d = source.dataset()) return observations_of(*d);
+  return observations_of(*source.store());
+}
+
+LifetimeReport disk_lifetime_report(const Source& source,
                                     std::vector<double> age_edges_days) {
-  return report_from_observations(disk_lifetime_observations(store),
+  return report_from_observations(disk_lifetime_observations(source),
                                   std::move(age_edges_days));
 }
 

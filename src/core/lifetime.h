@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/source.h"
 #include "stats/survival.h"
 #include "store/reader.h"
 
@@ -20,7 +21,10 @@ namespace storsubsim::core {
 /// duration is the record's observed lifetime (clipped to the study window);
 /// `event` is true iff a *disk* failure was recorded for that disk. Records
 /// alive at the horizon — the overwhelming majority — are right-censored.
-std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Dataset& dataset);
+/// The unified entry point: dataset-backed sources sweep the inventory,
+/// store-backed sources (whole cohort) the mapped install/remove columns, in
+/// the same disk-id order — the same observations either way.
+std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Source& source);
 
 struct LifetimeReport {
   stats::KaplanMeier survival;
@@ -32,15 +36,27 @@ struct LifetimeReport {
 
 /// Fits the survival curve and the age-binned hazard. `age_edges_days`
 /// defaults to {0, 30, 90, 180, 365, 730, 1340} when empty.
-LifetimeReport disk_lifetime_report(const Dataset& dataset,
+LifetimeReport disk_lifetime_report(const Source& source,
                                     std::vector<double> age_edges_days = {});
 
-/// Store-backed overloads over the whole (unfiltered) cohort: observations
-/// come from the mapped install/remove topology columns in disk-id order —
-/// the same sweep (and therefore the same fit) as the Dataset path.
-std::vector<stats::SurvivalObservation> disk_lifetime_observations(
-    const store::EventStore& store);
-LifetimeReport disk_lifetime_report(const store::EventStore& store,
-                                    std::vector<double> age_edges_days = {});
+// --- legacy overloads (thin shims) ------------------------------------------
+// \deprecated Pre-Source API; prefer the Source entry points above.
+
+inline std::vector<stats::SurvivalObservation> disk_lifetime_observations(
+    const Dataset& dataset) {
+  return disk_lifetime_observations(Source(dataset));
+}
+inline std::vector<stats::SurvivalObservation> disk_lifetime_observations(
+    const store::EventStore& store) {
+  return disk_lifetime_observations(Source(store));
+}
+inline LifetimeReport disk_lifetime_report(const Dataset& dataset,
+                                           std::vector<double> age_edges_days = {}) {
+  return disk_lifetime_report(Source(dataset), std::move(age_edges_days));
+}
+inline LifetimeReport disk_lifetime_report(const store::EventStore& store,
+                                           std::vector<double> age_edges_days = {}) {
+  return disk_lifetime_report(Source(store), std::move(age_edges_days));
+}
 
 }  // namespace storsubsim::core

@@ -8,9 +8,9 @@
 #include "log/classifier.h"
 #include "log/line_writer.h"
 #include "log/parser.h"
+#include "obs/obs.h"
 #include "sim/log_bridge.h"
 #include "util/parallel.h"
-#include "util/stage_timer.h"
 
 namespace storsubsim::core {
 
@@ -37,25 +37,33 @@ struct ShardOutput {
 ShardOutput roundtrip_shard(const model::Fleet& fleet,
                             std::span<const sim::SimFailure> failures) {
   ShardOutput out;
-  util::StageTimer timer;
 
-  log::LineWriter log_text(failures.size() * kLogBytesPerFailure);
-  out.stats.log_lines_written = sim::write_failure_logs(log_text, fleet, failures);
-  out.stats.stage_seconds.emit = timer.lap();
+  {
+    obs::Span span("pipeline.emit");
+    log::LineWriter log_text(failures.size() * kLogBytesPerFailure);
+    out.stats.log_lines_written = sim::write_failure_logs(log_text, fleet, failures);
+    out.stats.stage_seconds.emit = span.stop();
 
-  std::vector<log::LogView> records;
-  const log::ParseStats parse_stats = log::parse_text(log_text.view(), records);
-  out.stats.log_lines_parsed = parse_stats.lines_parsed;
-  out.stats.stage_seconds.parse = timer.lap();
+    obs::Span parse_span("pipeline.parse");
+    std::vector<log::LogView> records;
+    const log::ParseStats parse_stats = log::parse_text(log_text.view(), records);
+    out.stats.log_lines_parsed = parse_stats.lines_parsed;
+    out.stats.stage_seconds.parse = parse_span.stop();
 
-  log::ClassifierStats classifier_stats;
-  out.failures = log::classify(std::span<const log::LogView>(records),
-                               log::ClassifierOptions{}, &classifier_stats);
-  out.stats.raid_records = classifier_stats.raid_records;
-  out.stats.duplicates_dropped = classifier_stats.duplicates_dropped;
-  out.stats.missing_disk_dropped = classifier_stats.missing_disk_dropped;
-  out.stats.failures_classified = out.failures.size();
-  out.stats.stage_seconds.classify = timer.lap();
+    obs::Span classify_span("pipeline.classify");
+    log::ClassifierStats classifier_stats;
+    out.failures = log::classify(std::span<const log::LogView>(records),
+                                 log::ClassifierOptions{}, &classifier_stats);
+    out.stats.raid_records = classifier_stats.raid_records;
+    out.stats.duplicates_dropped = classifier_stats.duplicates_dropped;
+    out.stats.missing_disk_dropped = classifier_stats.missing_disk_dropped;
+    out.stats.failures_classified = out.failures.size();
+    out.stats.stage_seconds.classify = classify_span.stop();
+  }
+
+  STORSIM_OBS_COUNTER(c_classified, "pipeline.failures_classified",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_classified, out.stats.failures_classified);
   return out;
 }
 
@@ -91,6 +99,9 @@ Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result
   std::size_t shards = std::min<std::size_t>(util::thread_count(),
                                              n_systems == 0 ? 1 : n_systems);
   if (result.failures.size() < 2048) shards = 1;  // not worth the fan-out
+  STORSIM_OBS_COUNTER(c_shards, "pipeline.shards",
+                      ::storsubsim::obs::Stability::kSchedulingDependent);
+  STORSIM_OBS_ADD(c_shards, shards);
 
   std::vector<log::ClassifiedFailure> classified;
   if (shards <= 1) {
@@ -130,14 +141,14 @@ Dataset dataset_via_logs(const model::Fleet& fleet, const sim::SimResult& result
     }
     // Restore the classifier's global output order (time, disk, type) so the
     // sharded pipeline is bit-identical to the serial one.
-    util::StageTimer sort_timer;
+    obs::Span sort_span("pipeline.sort");
     std::sort(classified.begin(), classified.end(),
               [](const log::ClassifiedFailure& a, const log::ClassifiedFailure& b) {
                 if (a.time != b.time) return a.time < b.time;
                 if (a.disk != b.disk) return a.disk < b.disk;
                 return static_cast<int>(a.type) < static_cast<int>(b.type);
               });
-    local.stage_seconds.sort = sort_timer.lap();
+    local.stage_seconds.sort = sort_span.stop();
   }
 
   if (stats != nullptr) *stats = local;
@@ -157,9 +168,9 @@ Dataset dataset_in_memory(const model::Fleet& fleet, const sim::SimResult& resul
 
 SimulationDataset simulate_and_analyze(const model::FleetConfig& config,
                                        const sim::SimParams& params, bool through_text_logs) {
-  util::StageTimer sim_timer;
+  obs::Span sim_span("pipeline.simulate");
   sim::FleetSimulation simulation = sim::simulate_fleet(config, params);
-  const double simulate_seconds = sim_timer.lap();
+  const double simulate_seconds = sim_span.stop();
   PipelineStats pipeline;
   Dataset dataset = through_text_logs
                         ? dataset_via_logs(simulation.fleet, simulation.result, &pipeline)

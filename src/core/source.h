@@ -1,0 +1,62 @@
+// core::Source — the unified input façade for the analysis API.
+//
+// The analysis layer historically forked into parallel overloads: one taking
+// the in-memory Dataset (simulate -> emit -> parse -> classify), one taking
+// the mmap'd columnar store::EventStore. Every new statistic had to be
+// written twice. Source collapses the fork: it is a non-owning variant over
+// the two backends, implicitly constructible from either, so a single
+// `compute_afr(const Source&)`-style entry point serves both — and the two
+// code paths are pinned bit-identical by the Source equivalence suite
+// (tests/core/source_test.cc).
+//
+// Ownership: Source borrows. The referenced Dataset/EventStore must outlive
+// the Source; construction from temporaries is deleted to make the obvious
+// dangling pattern (wrapping the result of dataset.filter(...) and keeping
+// it) a compile error. See docs/API.md.
+#pragma once
+
+#include <variant>
+
+#include "core/dataset.h"
+#include "store/reader.h"
+
+namespace storsubsim::core {
+
+class Source {
+ public:
+  // Implicit by design: call sites read compute_afr(dataset) and
+  // compute_afr(store), not compute_afr(Source(dataset)).
+  Source(const Dataset& dataset) noexcept : ref_(&dataset) {}          // NOLINT
+  Source(const store::EventStore& store) noexcept : ref_(&store) {}    // NOLINT
+  Source(Dataset&&) = delete;
+  Source(store::EventStore&&) = delete;
+
+  bool is_store() const noexcept {
+    return std::holds_alternative<const store::EventStore*>(ref_);
+  }
+
+  /// The dataset backend, or nullptr when store-backed.
+  const Dataset* dataset() const noexcept {
+    const auto* const* d = std::get_if<const Dataset*>(&ref_);
+    return d != nullptr ? *d : nullptr;
+  }
+
+  /// The store backend, or nullptr when dataset-backed.
+  const store::EventStore* store() const noexcept {
+    const auto* const* s = std::get_if<const store::EventStore*>(&ref_);
+    return s != nullptr ? *s : nullptr;
+  }
+
+  /// Dispatches to exactly one of the callables; both must return the same
+  /// type. The workhorse of the single-entry-point analysis functions.
+  template <typename DatasetFn, typename StoreFn>
+  auto visit(DatasetFn&& on_dataset, StoreFn&& on_store) const {
+    if (const Dataset* d = dataset()) return on_dataset(*d);
+    return on_store(*store());
+  }
+
+ private:
+  std::variant<const Dataset*, const store::EventStore*> ref_;
+};
+
+}  // namespace storsubsim::core

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace storsubsim::log {
 
 namespace {
@@ -77,6 +79,12 @@ std::vector<ClassifiedFailure> classify_impl(std::span<const Record> records,
     last_kept[slot] = f.time;
     out.push_back(f);
   }
+  STORSIM_OBS_COUNTER(c_records, "log.classify.records",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_records, records.size());
+  STORSIM_OBS_COUNTER(c_dupes, "log.classify.duplicates_dropped",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_dupes, local.duplicates_dropped);
   if (stats != nullptr) *stats = local;
   return out;
 }

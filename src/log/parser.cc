@@ -4,6 +4,8 @@
 #include <istream>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace storsubsim::log {
 
 namespace {
@@ -113,6 +115,12 @@ ParseStats parse_text(std::string_view text, std::vector<LogView>& out) {
     if (nl == std::string_view::npos) break;
     pos = nl + 1;
   }
+  STORSIM_OBS_COUNTER(c_lines, "log.parse.lines",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_lines, stats.lines_total);
+  STORSIM_OBS_COUNTER(c_parsed, "log.parse.records",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_parsed, stats.lines_parsed);
   return stats;
 }
 

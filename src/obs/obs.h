@@ -1,0 +1,46 @@
+// Umbrella header + the per-event instrumentation macros.
+//
+// Instrumentation on per-event hot paths (log emit/parse/classify, store
+// query row loops) goes through these macros so a build can compile it out
+// entirely: configure with -DSTORSUBSIM_OBS_PER_EVENT=OFF and every
+// STORSIM_OBS_* expands to a no-op — zero instructions, zero data. The
+// default build keeps them on; the fast path is a relaxed add on a
+// thread-local shard (obs/registry.h).
+//
+// Usage (function scope; registration happens once, thread-safely):
+//   STORSIM_OBS_COUNTER(c_lines, "log.parse.lines",
+//                       ::storsubsim::obs::Stability::kDeterministic);
+//   STORSIM_OBS_ADD(c_lines, batch.size());
+//
+// Stage-granularity timing does not use macros — construct an obs::Span
+// directly; spans are always compiled in (their values feed PipelineStats).
+#pragma once
+
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+#ifndef STORSIM_OBS_PER_EVENT
+#define STORSIM_OBS_PER_EVENT 1
+#endif
+
+#if STORSIM_OBS_PER_EVENT
+
+#define STORSIM_OBS_COUNTER(var, name, stability) \
+  static ::storsubsim::obs::Counter var =         \
+      ::storsubsim::obs::registry().counter((name), (stability))
+#define STORSIM_OBS_ADD(var, n) (var).add(static_cast<std::uint64_t>(n))
+#define STORSIM_OBS_HISTOGRAM(var, name, stability) \
+  static ::storsubsim::obs::Histogram var =         \
+      ::storsubsim::obs::registry().histogram((name), (stability))
+#define STORSIM_OBS_OBSERVE(var, v) (var).observe(static_cast<std::uint64_t>(v))
+
+#else  // compiled out: no statics, no atomics, no registration
+
+#define STORSIM_OBS_COUNTER(var, name, stability) static_cast<void>(0)
+#define STORSIM_OBS_ADD(var, n) static_cast<void>(0)
+#define STORSIM_OBS_HISTOGRAM(var, name, stability) static_cast<void>(0)
+#define STORSIM_OBS_OBSERVE(var, v) static_cast<void>(0)
+
+#endif  // STORSIM_OBS_PER_EVENT

@@ -6,6 +6,7 @@
 
 #include "log/codes.h"
 #include "log/emitter.h"
+#include "obs/obs.h"
 
 namespace storsubsim::sim {
 
@@ -49,6 +50,12 @@ std::size_t write_failure_logs(log::LineWriter& out, const model::Fleet& fleet,
     input.serial = std::string_view(serial.data(), serial.size());
     lines += storsubsim::log::emit_chain(out, input);
   }
+  STORSIM_OBS_COUNTER(c_chains, "log.emit.chains",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_chains, failures.size());
+  STORSIM_OBS_COUNTER(c_lines, "log.emit.lines",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_lines, lines);
   return lines;
 }
 

@@ -7,6 +7,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "sim/windows.h"
 #include "stats/distributions.h"
 #include "util/parallel.h"
@@ -458,17 +459,24 @@ SimResult Simulator::run() {
   SimResult result;
   const std::size_t n_shelves = fleet_->shelves().size();
 
+  STORSIM_OBS_COUNTER(c_shelves, "sim.shelves",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_shelves, n_shelves);
+
   // Phase 1 (parallel): every shelf simulates against its own occupancy
   // overlay, drawing only from shelf-keyed RNG substreams. No shared state
   // is written, so the per-shelf event sequences are identical for any
   // thread count.
+  obs::Span shelf_span("sim.shelf_phase");
   std::vector<ShelfOutcome> shelf_out(n_shelves);
   util::parallel_for(n_shelves, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       simulate_shelf(static_cast<std::uint32_t>(i), shelf_out[i]);
     }
   });
+  shelf_span.stop();
 
+  obs::Span replay_span("sim.replacement_replay");
   // Phase 2 (serial): replay the recorded replacements against the fleet in
   // shelf order — exactly the order the serial simulator performed them —
   // so fleet-wide disk ids are reproduced bit-identically; then resolve the
@@ -492,11 +500,16 @@ SimResult Simulator::run() {
     accumulate(result.counters, out.result.counters);
     out = ShelfOutcome{};  // release per-shelf buffers eagerly
   }
+  replay_span.stop();
 
   // Phase 3 (parallel): system-scope processes only read the fleet (the
   // replacement chains are final by now) and write per-system buffers,
   // merged in system order.
+  obs::Span system_span("sim.system_phase");
   const std::size_t n_systems = fleet_->systems().size();
+  STORSIM_OBS_COUNTER(c_systems, "sim.systems",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_systems, n_systems);
   std::vector<SimResult> sys_out(n_systems);
   util::parallel_for(n_systems, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
@@ -508,12 +521,22 @@ SimResult Simulator::run() {
                            sys_out[i].failures.end());
     accumulate(result.counters, sys_out[i].counters);
   }
+  system_span.stop();
 
+  obs::Span sort_span("sim.sort");
   std::sort(result.failures.begin(), result.failures.end(),
             [](const SimFailure& a, const SimFailure& b) {
               if (a.detect_time != b.detect_time) return a.detect_time < b.detect_time;
               return a.disk < b.disk;
             });
+  sort_span.stop();
+
+  STORSIM_OBS_COUNTER(c_failures, "sim.failures",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_failures, result.failures.size());
+  STORSIM_OBS_COUNTER(c_repl, "sim.replacements",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_repl, result.counters.replacements);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/obs.h"
+
 namespace storsubsim::store {
 
 namespace {
@@ -45,6 +47,7 @@ QueryGroup finalize(std::string label, const GroupCounts& counts, double disk_ye
 }  // namespace
 
 QueryResult run_query(const EventStore& store, const Query& query) {
+  obs::Span span("store.query");
   QueryResult result;
 
   GroupCounts all;                                       // GroupBy::kNone
@@ -150,6 +153,18 @@ QueryResult run_query(const EventStore& store, const Query& query) {
       }
       break;
   }
+  STORSIM_OBS_COUNTER(c_rows_scanned, "store.query.rows_scanned",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_rows_scanned, result.stats.rows_scanned);
+  STORSIM_OBS_COUNTER(c_rows_matched, "store.query.rows_matched",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_rows_matched, result.stats.rows_matched);
+  STORSIM_OBS_COUNTER(c_blocks_scanned, "store.query.blocks_scanned",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_blocks_scanned, result.stats.blocks_scanned);
+  STORSIM_OBS_COUNTER(c_blocks_pruned, "store.query.blocks_pruned",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_blocks_pruned, result.stats.blocks_pruned);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace storsubsim::store {
 
 namespace {
@@ -112,6 +114,7 @@ Error EventStore::open_image(std::string image) {
 }
 
 Error EventStore::load() {
+  obs::Span span("store.open");
   columns_.clear();
   blocks_.clear();
 
@@ -223,7 +226,16 @@ Error EventStore::load() {
     }
     col.data = data_ + offset;
     col.size = static_cast<std::size_t>(bytes);
-    if (crc != crc32(col.data, col.size)) {
+    obs::Span crc_span("store.open.crc");
+    const bool crc_ok = crc == crc32(col.data, col.size);
+    crc_span.stop();
+    STORSIM_OBS_COUNTER(c_cols, "store.open.columns_validated",
+                        ::storsubsim::obs::Stability::kDeterministic);
+    STORSIM_OBS_ADD(c_cols, 1);
+    STORSIM_OBS_COUNTER(c_crc_bytes, "store.open.crc_bytes",
+                        ::storsubsim::obs::Stability::kDeterministic);
+    STORSIM_OBS_ADD(c_crc_bytes, col.size);
+    if (!crc_ok) {
       return column_error(ErrorCode::kChecksum, "column CRC32 mismatch", col.id,
                           offset);
     }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/parallel.h"
 
 namespace storsubsim::store {
@@ -357,6 +358,7 @@ void append_block_index(std::string& out, const std::vector<BlockRecord>& blocks
 }  // namespace
 
 Error build_store_image(const StoreContents& contents, std::string* image) {
+  obs::Span span("store.build_image");
   if (contents.inventory == nullptr) {
     return make_error(ErrorCode::kBadValue, "writer: null inventory");
   }
@@ -444,6 +446,13 @@ Error build_store_image(const StoreContents& contents, std::string* image) {
   head.reserve(kHeaderSize);
   append_header(head, header);
   out.replace(0, kHeaderSize, head);
+
+  STORSIM_OBS_COUNTER(c_bytes, "store.write.bytes",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_bytes, out.size());
+  STORSIM_OBS_COUNTER(c_cols, "store.write.columns",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_cols, columns.size());
 
   *image = std::move(out);
   return Error{};

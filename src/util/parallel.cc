@@ -6,9 +6,32 @@
 #include <memory>
 #include <string>
 
+#include "obs/registry.h"
+
 namespace storsubsim::util {
 
 namespace {
+
+// Pool telemetry. Everything here is a property of one particular
+// interleaving (queue depths, how many chunks a given fan-out produced), so
+// it is registered scheduling-dependent and excluded from deterministic
+// snapshot views.
+obs::Counter& tasks_submitted_counter() {
+  static obs::Counter c = obs::registry().counter(
+      "pool.tasks_submitted", obs::Stability::kSchedulingDependent);
+  return c;
+}
+
+obs::Counter& chunks_inline_counter() {
+  static obs::Counter c = obs::registry().counter(
+      "pool.parallel_for_inline", obs::Stability::kSchedulingDependent);
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge g = obs::registry().gauge("pool.queue_depth_max");
+  return g;
+}
 
 thread_local const ThreadPool* tl_current_pool = nullptr;
 
@@ -56,11 +79,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  tasks_submitted_counter().add(1);
+  queue_depth_gauge().update_max(depth);
 }
 
 bool ThreadPool::on_worker_thread() const { return tl_current_pool == this; }
@@ -104,6 +131,7 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size
   // worker (nesting would deadlock a fixed pool and change nothing about
   // the outer loop's fixed partitioning).
   if (effective <= 1 || n < 2 || tl_current_pool != nullptr) {
+    chunks_inline_counter().add(1);
     body(0, n);
     return;
   }

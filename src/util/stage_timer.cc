@@ -1,15 +1,14 @@
 #include "util/stage_timer.h"
 
-#include <chrono>
+#include "obs/span.h"
 
 namespace storsubsim::util {
 
 double monotonic_seconds() noexcept {
-  // The project's only wall-clock read: keeping it in one function makes the
-  // "timings are outputs, never inputs" rule auditable at a single site.
-  // storsim-lint: allow(nondeterminism) reason=observability-only stage timing; values are reported, never fed back into simulation or analysis
-  const auto now = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(now.time_since_epoch()).count();
+  // Delegates to the observability layer's single wall-clock site
+  // (src/obs/span.cc) so every timer in the tree shares one epoch — spans,
+  // StageTimer laps, and bench deltas all line up on the same axis.
+  return obs::now_seconds();
 }
 
 }  // namespace storsubsim::util

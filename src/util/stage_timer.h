@@ -1,11 +1,14 @@
 // StageTimer — lightweight wall-clock lap timer for pipeline observability.
 //
-// The dataset pipeline reports how long each stage (simulate, emit, parse,
-// classify, sort) took so the benches can attribute regressions to a stage
-// instead of re-bisecting the whole run. Timings are observability only:
-// they are additive outputs (never inputs), so they do not violate the
-// determinism contract — the classified dataset is byte-identical whether
-// or not anyone reads the timer.
+// \deprecated Superseded by obs::Span (src/obs/span.h), which measures the
+// same wall-clock deltas off the same epoch *and* feeds the Chrome trace
+// exporter. New code in instrumented directories (src/sim, src/log,
+// src/store) must use obs::Span — storsim-lint's timer-discipline rule
+// enforces this. StageTimer remains for existing out-of-tree callers; its
+// clock now delegates to obs::now_seconds(), so laps and spans share one
+// epoch. Timings are observability only: they are additive outputs (never
+// inputs), so they do not violate the determinism contract — the classified
+// dataset is byte-identical whether or not anyone reads the timer.
 #pragma once
 
 namespace storsubsim::util {

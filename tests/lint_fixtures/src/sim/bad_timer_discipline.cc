@@ -1,0 +1,18 @@
+// Fixture: deliberately violates timer-discipline inside src/sim/.
+// Timing in the instrumented subsystems must go through obs::Span.
+#include <chrono>
+
+#include "util/stage_timer.h"
+
+namespace storsubsim::sim {
+
+double shelf_phase_seconds() {
+  util::StageTimer timer;           // timer-discipline: StageTimer is superseded
+  const auto t0 = std::chrono::steady_clock::now();  // also nondeterminism
+  double acc = 0.0;
+  for (int i = 0; i < 1000; ++i) acc += static_cast<double>(i);
+  (void)t0;
+  return acc + util::monotonic_seconds();  // timer-discipline: raw clock read
+}
+
+}  // namespace storsubsim::sim

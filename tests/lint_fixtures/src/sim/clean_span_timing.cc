@@ -1,0 +1,14 @@
+// Fixture: the approved way to time a region inside src/sim/ — an obs::Span
+// scoped over the work. No StageTimer, no direct <chrono> reads.
+#include "obs/obs.h"
+
+namespace storsubsim::sim {
+
+double shelf_phase(int shelves) {
+  obs::Span span("sim.shelf_phase");
+  double acc = 0.0;
+  for (int i = 0; i < shelves; ++i) acc += static_cast<double>(i);
+  return acc + span.stop();
+}
+
+}  // namespace storsubsim::sim

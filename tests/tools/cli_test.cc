@@ -174,6 +174,70 @@ TEST_F(CliTest, StoreBuildQueryStatsAndAnalyze) {
   std::remove(store_path.c_str());
 }
 
+TEST_F(CliTest, InputAutoDetectsBackendByteIdentically) {
+  // `--input` sniffs the STORCOL1 magic: the same analyze invocation spelled
+  // with --logs, --store, --input <store>, and --input <log> must print the
+  // same bytes.
+  const std::string store_path = temp_path("cli_input.store");
+  {
+    const auto [status, out] = run_cli("store build --out " + store_path + " --logs " +
+                                       logs_path_ + " --snapshot " + snap_path_);
+    ASSERT_EQ(status, 0) << out;
+  }
+  const std::string snap_arg = " --snapshot " + snap_path_;
+  for (const char* report : {"afr", "correlation"}) {
+    const std::string tail = std::string(" --report ") + report;
+    const auto via_logs = run_cli("analyze --logs " + logs_path_ + snap_arg + tail);
+    const auto via_store = run_cli("analyze --store " + store_path + tail);
+    const auto via_input_store = run_cli("analyze --input " + store_path + tail);
+    const auto via_input_logs = run_cli("analyze --input " + logs_path_ + snap_arg + tail);
+    ASSERT_EQ(via_logs.first, 0) << report;
+    EXPECT_EQ(via_input_store.first, 0) << report;
+    EXPECT_EQ(via_input_logs.first, 0) << report;
+    EXPECT_EQ(via_input_store.second, via_store.second) << report;
+    EXPECT_EQ(via_input_store.second, via_logs.second) << report;
+    EXPECT_EQ(via_input_logs.second, via_logs.second) << report;
+  }
+  // Mixing --input with an explicit backend flag is ambiguous and rejected.
+  EXPECT_NE(run_cli("analyze --input " + store_path + " --store " + store_path +
+                    " --report afr")
+                .first,
+            0);
+  std::remove(store_path.c_str());
+}
+
+TEST_F(CliTest, ObservabilityFlagsChangeNoAnalysisByte) {
+  // --metrics goes to stderr and --trace/--manifest only write side files:
+  // stdout must be byte-identical with and without them.
+  const std::string trace_path = temp_path("cli_obs.trace.json");
+  const std::string manifest_path = temp_path("cli_obs.manifest.json");
+  const std::string base_args =
+      "analyze --logs " + logs_path_ + " --snapshot " + snap_path_ + " --report afr";
+  const auto plain = run_cli(base_args);
+  const auto instrumented = run_cli(base_args + " --metrics --trace " + trace_path +
+                                    " --manifest " + manifest_path);
+  ASSERT_EQ(plain.first, 0);
+  ASSERT_EQ(instrumented.first, 0);
+  EXPECT_EQ(instrumented.second, plain.second);
+
+  // Both artifacts exist and are JSON objects with the expected markers.
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"traceEvents\""), std::string::npos);
+
+  std::ifstream manifest_in(manifest_path);
+  ASSERT_TRUE(manifest_in.good());
+  std::stringstream manifest_text;
+  manifest_text << manifest_in.rdbuf();
+  EXPECT_NE(manifest_text.str().find("\"storsubsim_manifest\""), std::string::npos);
+  EXPECT_NE(manifest_text.str().find("\"metrics\""), std::string::npos);
+
+  std::remove(trace_path.c_str());
+  std::remove(manifest_path.c_str());
+}
+
 TEST(CliStoreErrors, CorruptAndMissingStoresRejected) {
   EXPECT_NE(run_cli("store query --store /nonexistent.store").first, 0);
   EXPECT_NE(run_cli("store frobnicate").first, 0);

@@ -250,6 +250,35 @@ TEST(AllocHotpathRule, AppendAssignAndArithmeticPlusAreClean) {
   EXPECT_TRUE(lint::lint_source("src/log/emitter.cc", snippet).findings.empty());
 }
 
+// --- rule: timer-discipline ---------------------------------------------------
+
+TEST(TimerDisciplineRule, FlagsStageTimerChronoAndMonotonicSeconds) {
+  const auto report = lint_fixture("src/sim/bad_timer_discipline.cc");
+  // <chrono> include, StageTimer decl, std::chrono:: use, monotonic_seconds().
+  EXPECT_EQ(count_rule(report, lint::Rule::kTimerDiscipline), 4u);
+  // The raw steady_clock read is independently a nondeterminism finding.
+  EXPECT_EQ(count_rule(report, lint::Rule::kNondeterminism), 1u);
+}
+
+TEST(TimerDisciplineRule, ObsSpanIdiomIsClean) {
+  EXPECT_TRUE(lint_fixture("src/sim/clean_span_timing.cc").findings.empty());
+}
+
+TEST(TimerDisciplineRule, ScopedToInstrumentedSubsystemsOnly) {
+  const std::string snippet =
+      "#include \"util/stage_timer.h\"\n"
+      "double f() { storsubsim::util::StageTimer t; return t.seconds(); }\n";
+  EXPECT_EQ(lint::lint_source("src/sim/simulator.cc", snippet).findings.size(), 1u);
+  EXPECT_EQ(lint::lint_source("src/log/parser.cc", snippet).findings.size(), 1u);
+  EXPECT_EQ(lint::lint_source("src/store/writer.cc", snippet).findings.size(), 1u);
+  EXPECT_TRUE(lint::lint_source("src/obs/span.cc", snippet).findings.empty())
+      << "src/obs owns the clock; the rule must not recurse into it";
+  EXPECT_TRUE(lint::lint_source("src/core/afr.cc", snippet).findings.empty())
+      << "cold analysis code is out of scope";
+  EXPECT_TRUE(lint::lint_source("bench/pipeline_throughput.cc", snippet).findings.empty())
+      << "bench code may time however it likes";
+}
+
 // --- baselines --------------------------------------------------------------
 
 TEST(Baseline, RoundTripSilencesAcceptedFindings) {
@@ -320,6 +349,7 @@ TEST(Cli, ExitsNonzeroOnEveryViolatingFixture) {
   for (const char* bad : {"src/bad_nondeterminism.cc", "src/bad_unordered_iter.cc",
                           "src/bad_rng_discipline.cc", "src/bad_suppression.cc",
                           "src/log/bad_alloc_hotpath.cc", "src/store/bad_alloc_store.cc",
+                          "src/sim/bad_timer_discipline.cc",
                           "include/bad_missing_guard.h", "include/bad_using_namespace.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(bad)), 1) << bad;
   }
@@ -329,8 +359,8 @@ TEST(Cli, ExitsZeroOnCleanFixtures) {
   for (const char* good :
        {"src/clean_deterministic.cc", "src/clean_unordered_lookup.cc",
         "src/allowed_unordered_iter.cc", "src/log/clean_linewriter.cc",
-        "src/store/clean_columnar.cc", "bench/timing_uses_clock.cc",
-        "include/clean_header.h"}) {
+        "src/store/clean_columnar.cc", "src/sim/clean_span_timing.cc",
+        "bench/timing_uses_clock.cc", "include/clean_header.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(good)), 0) << good;
   }
 }

@@ -406,6 +406,13 @@ class FileLinter {
                                 (in_src && has_segment(path_, "store")) ||
                                 ends_with_path(path_, "src/core/pipeline.cc");
     if (in_log_hotpath) check_alloc_hotpath();
+    // The instrumented subsystems time regions exclusively through obs::Span
+    // (one shared epoch, exported to metrics/traces); src/obs/ itself owns
+    // the single steady_clock call site and is exempt.
+    const bool timer_scoped = in_src && !has_segment(path_, "obs") &&
+                              (has_segment(path_, "sim") || has_segment(path_, "log") ||
+                               has_segment(path_, "store"));
+    if (timer_scoped) check_timer_discipline();
     return finish();
   }
 
@@ -498,6 +505,26 @@ class FileLinter {
             "hot path; append the pieces into a reusable log::LineWriter");
       }
     }
+  }
+
+  void check_timer_discipline() {
+    const std::string_view code = stripped_.code;
+    for_each_identifier(code, [&](const Token& tok) {
+      if (is_member_access(code, tok)) return;
+      if (tok.text == "StageTimer" || tok.text == "monotonic_seconds") {
+        add(tok.begin, Rule::kTimerDiscipline,
+            std::string(tok.text) +
+                " is superseded in instrumented subsystems; time the region with an "
+                "obs::Span (src/obs/span.h) so it shares the trace epoch and shows up "
+                "in --trace/--metrics output");
+        return;
+      }
+      if (tok.text == "chrono") {
+        add(tok.begin, Rule::kTimerDiscipline,
+            "direct std::chrono timing bypasses the observability layer; wrap the "
+            "region in an obs::Span (src/obs/span.h) or read obs::now_seconds()");
+      }
+    });
   }
 
   void check_rng_discipline() {
@@ -760,6 +787,7 @@ std::string_view rule_name(Rule rule) noexcept {
     case Rule::kRngDiscipline: return "rng-discipline";
     case Rule::kHeaderHygiene: return "header-hygiene";
     case Rule::kAllocHotpath: return "alloc-hotpath";
+    case Rule::kTimerDiscipline: return "timer-discipline";
     case Rule::kBadSuppression: return "bad-suppression";
   }
   return "unknown";

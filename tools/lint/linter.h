@@ -18,6 +18,10 @@
 //                     std::stringstream, std::to_string, string-literal
 //                     operator+) inside the log hot path (src/log/ and
 //                     src/core/pipeline.cc); format through log::LineWriter
+//   timer-discipline— util::StageTimer / std::chrono timing inside the
+//                     instrumented subsystems (src/sim/, src/log/, src/store/);
+//                     time regions with obs::Span so every measurement shares
+//                     one clock epoch and lands in the trace/metric exporters
 //
 // Intentional exceptions are either annotated inline,
 //
@@ -43,12 +47,14 @@ enum class Rule {
   kRngDiscipline,
   kHeaderHygiene,
   kAllocHotpath,
+  kTimerDiscipline,
   kBadSuppression,
 };
 
-inline constexpr Rule kAllRules[] = {Rule::kNondeterminism, Rule::kUnorderedIter,
-                                     Rule::kRngDiscipline, Rule::kHeaderHygiene,
-                                     Rule::kAllocHotpath, Rule::kBadSuppression};
+inline constexpr Rule kAllRules[] = {Rule::kNondeterminism,  Rule::kUnorderedIter,
+                                     Rule::kRngDiscipline,   Rule::kHeaderHygiene,
+                                     Rule::kAllocHotpath,    Rule::kTimerDiscipline,
+                                     Rule::kBadSuppression};
 
 std::string_view rule_name(Rule rule) noexcept;
 std::optional<Rule> rule_from_name(std::string_view name) noexcept;

@@ -16,7 +16,13 @@
 #      fleet, serializes it, and asserts the mmap+query rerun reproduces the
 #      AFR breakdown bit for bit (docs/STORE.md); plus a corruption smoke —
 #      a truncated and a bit-flipped store must be rejected by the CLI
-#   6. clang-tidy over src/ when available (the container may not ship it;
+#   6. observability gate (docs/OBSERVABILITY.md): a full-scale analyze with
+#      --metrics --trace --manifest must print byte-identical stdout to the
+#      plain run, the manifest and trace must be valid JSON, and turning the
+#      obs stack on must cost <2% wall time on the scale-1.0 log pipeline
+#      (paired min-of-N runs on this machine; the committed BENCH_pipeline.json
+#      numbers are the cross-machine reference)
+#   7. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
@@ -24,21 +30,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] configure + build =="
+echo "== [1/7] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/6] ctest =="
+echo "== [2/7] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/6] storsim_lint =="
+echo "== [3/7] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 
-echo "== [4/6] pipeline_throughput smoke =="
+echo "== [4/7] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
   --out=build/BENCH_pipeline_smoke.json
 
-echo "== [5/6] store round-trip (full scale) + corruption smoke =="
+echo "== [5/7] store round-trip (full scale) + corruption smoke =="
 ./build/bench/store_bench --scale=1.0 --repeat=1 \
   --store=build/BENCH_checks.store --out=build/BENCH_store_checks.json
 # Corrupt stores must be rejected, never crash: truncate one copy, flip a
@@ -55,7 +61,64 @@ for broken in build/BENCH_checks_truncated.store build/BENCH_checks_flipped.stor
 done
 echo "corrupted stores rejected with typed errors"
 
-echo "== [6/6] clang-tidy =="
+echo "== [6/7] observability: byte identity + manifest + overhead =="
+# Byte identity at full scale: the store built in step 5 feeds the same
+# analyze invocation with the obs stack off and fully on. --input also
+# exercises the STORCOL1 magic sniffing path.
+./build/tools/storsubsim analyze --store build/BENCH_checks.store \
+  --report afr > build/CHECK_obs_plain.txt
+./build/tools/storsubsim analyze --input build/BENCH_checks.store \
+  --report afr --metrics --trace build/CHECK_obs.trace.json \
+  --manifest build/CHECK_obs.manifest.json \
+  > build/CHECK_obs_instrumented.txt 2> build/CHECK_obs_metrics.txt
+cmp build/CHECK_obs_plain.txt build/CHECK_obs_instrumented.txt
+echo "analysis output byte-identical with --metrics --trace --manifest"
+
+# The emitted artifacts must be valid JSON with the expected markers.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'PYEOF'
+import json
+manifest = json.load(open("build/CHECK_obs.manifest.json"))
+assert manifest["storsubsim_manifest"] == 1, manifest
+assert manifest["tool"].startswith("storsubsim"), manifest["tool"]
+assert "metrics" in manifest and isinstance(manifest["metrics"], list)
+trace = json.load(open("build/CHECK_obs.trace.json"))
+assert isinstance(trace["traceEvents"], list) and trace["traceEvents"]
+assert all(e["ph"] == "X" for e in trace["traceEvents"])
+print("manifest + trace JSON valid (%d trace events)" % len(trace["traceEvents"]))
+PYEOF
+else
+  grep -q '"storsubsim_manifest"' build/CHECK_obs.manifest.json
+  grep -q '"traceEvents"' build/CHECK_obs.trace.json
+  echo "python3 unavailable; JSON markers grep-checked only"
+fi
+
+# Overhead gate: the scale-1.0 log pipeline with tracing + metrics on must
+# stay within 2% of the plain run (paired min-of-3 on this machine — the
+# committed BENCH_pipeline.json is a different box, so it is reference only).
+./build/bench/pipeline_throughput --scale=1.0 --repeat=3 \
+  --out=build/BENCH_pipeline_check.json > /dev/null
+./build/bench/pipeline_throughput --scale=1.0 --repeat=3 \
+  --metrics --trace=build/BENCH_pipeline_check.trace.json \
+  --out=build/BENCH_pipeline_check_obs.json > /dev/null 2>&1
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'PYEOF'
+import json
+def wall(path):
+    doc = json.load(open(path))
+    fast = doc["fast"]
+    return fast["emit_seconds"] + fast["parse_seconds"] + fast["classify_seconds"]
+plain, obs = wall("build/BENCH_pipeline_check.json"), wall("build/BENCH_pipeline_check_obs.json")
+overhead = obs / plain - 1.0
+print("obs overhead on the fast path: %+.2f%% (plain %.3fs, obs %.3fs)"
+      % (overhead * 100.0, plain, obs))
+assert overhead < 0.02, "obs stack costs more than 2%% wall time (%.2f%%)" % (overhead * 100.0)
+PYEOF
+else
+  echo "python3 unavailable; skipping the <2% overhead comparison"
+fi
+
+echo "== [7/7] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.

@@ -48,6 +48,12 @@ if [ "$preset" = tsan ]; then
   run_ctest -R 'ThreadPool|ParallelFor|ThreadConfig'
   run_ctest -R 'Simulator\.|Bootstrap'
 
+  # Observability registry and trace buffers: relaxed per-thread shard writes
+  # merged by snapshot() — exactly the lock-free fast path TSan audits. The
+  # Determinism tests drive the full pipeline at 1/4/8 workers with the obs
+  # layer recording throughout.
+  run_ctest -R 'Registry\.|Trace\.|Span\.|Determinism\.'
+
   # Determinism contract under contention and with an oversubscribed pool:
   # the invariance tests internally compare 1-thread vs 4-thread runs; running
   # them with the pool default pinned to 1 and then 8 exercises both the

@@ -5,9 +5,10 @@
 //
 //   storsubsim simulate --scale 0.1 --seed 7 --logs fleet.log
 //       --snapshot fleet.snap [--precursors]
-//   storsubsim analyze  --logs fleet.log --snapshot fleet.snap
+//   storsubsim analyze  --input fleet.log --snapshot fleet.snap
 //       --report afr|burstiness|correlation|vulnerability|events
 //       [--class low-end] [--exclude-h] [--csv]
+//   storsubsim analyze  --input fleet.store --report afr
 //   storsubsim inspect  --snapshot fleet.snap
 //   storsubsim predict  --logs fleet.log --snapshot fleet.snap
 //       [--threshold 3] [--window-days 14] [--horizon-days 30]
@@ -19,9 +20,20 @@
 //
 // `analyze`, `inspect` and `predict` know nothing about the simulator's internals —
 // they parse whatever log/snapshot files you give them, so logs produced by
-// other tools (or hand-edited scenarios) work as well. `analyze --store FILE`
-// skips simulation and log parsing entirely: the columnar store is mapped and
-// the reports come straight off the column spans (see docs/STORE.md).
+// other tools (or hand-edited scenarios) work as well. `analyze --input FILE`
+// sniffs the file: a columnar store (STORCOL1 magic) is mapped and the reports
+// come straight off the column spans (see docs/STORE.md); anything else is
+// treated as a text log and needs `--snapshot`. The older `--logs`/`--store`
+// spellings remain as aliases and produce byte-identical output.
+//
+// Observability (docs/OBSERVABILITY.md): every command accepts
+//   --metrics          print the metric snapshot to stderr on success
+//   --trace FILE       write a Chrome trace_event JSON of recorded spans
+//   --manifest FILE    write a run-manifest JSON (provenance + metrics)
+// None of these change a single stdout byte — analysis output is identical
+// with observability on or off, at any --threads value.
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -36,15 +48,18 @@
 #include "core/prediction.h"
 #include "core/raid_vulnerability.h"
 #include "core/report.h"
+#include "core/source.h"
 #include "core/store_bridge.h"
 #include "log/classifier.h"
 #include "log/parser.h"
 #include "log/snapshot.h"
 #include "model/fleet_config.h"
 #include "model/time.h"
+#include "obs/obs.h"
 #include "sim/log_bridge.h"
 #include "sim/precursors.h"
 #include "sim/scenario.h"
+#include "store/format.h"
 #include "store/query.h"
 #include "util/parallel.h"
 
@@ -96,7 +111,7 @@ int usage() {
       R"(usage:
   storsubsim simulate --logs FILE --snapshot FILE [--scale S] [--seed N] [--precursors]
                       [--threads N]
-  storsubsim analyze  (--logs FILE --snapshot FILE | --store FILE)
+  storsubsim analyze  (--input FILE [--snapshot FILE] | --logs FILE --snapshot FILE | --store FILE)
                       --report afr|burstiness|correlation|vulnerability|events
                       [--class CLASS] [--exclude-h] [--csv]
   storsubsim inspect  --snapshot FILE [--csv]
@@ -105,8 +120,20 @@ int usage() {
   storsubsim store query --store FILE [--type TYPE] [--class CLASS] [--family F]
                       [--from-days D] [--to-days D] [--group-by class|type|family] [--csv]
   storsubsim store stats --store FILE [--csv]
+observability (any command): [--metrics] [--trace FILE] [--manifest FILE]
 )";
   return 2;
+}
+
+/// True when `path` starts with the columnar store magic ("STORCOL1"). Used
+/// by `analyze --input` to pick the store or log/snapshot path automatically.
+bool is_store_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<char, store::kMagic.size()> head{};
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  return in.gcount() == static_cast<std::streamsize>(head.size()) &&
+         std::equal(head.begin(), head.end(), store::kMagic.begin());
 }
 
 int cmd_simulate(const Args& args) {
@@ -176,8 +203,9 @@ bool open_store(const std::string& path, store::EventStore& out) {
 }
 
 std::optional<core::Dataset> load_dataset(const Args& args,
-                                          std::vector<log::LogRecord>* records_out) {
-  const std::string log_path = args.get("logs");
+                                          std::vector<log::LogRecord>* records_out,
+                                          std::string log_path = "") {
+  if (log_path.empty()) log_path = args.get("logs");
   const std::string snap_path = args.get("snapshot");
   if (log_path.empty() || snap_path.empty()) return std::nullopt;
 
@@ -219,7 +247,23 @@ void print(const core::TextTable& table, const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
-  const std::string store_path = args.get("store");
+  // `--input FILE` is the unified spelling: the file is sniffed for the
+  // STORCOL1 magic and routed to the store or log path. `--store` / `--logs`
+  // remain as aliases with byte-identical output.
+  std::string store_path = args.get("store");
+  std::string log_path = args.get("logs");
+  const std::string input = args.get("input");
+  if (!input.empty()) {
+    if (!store_path.empty() || !log_path.empty()) {
+      std::cerr << "--input replaces --logs/--store; pass only one spelling\n";
+      return usage();
+    }
+    if (is_store_file(input)) {
+      store_path = input;
+    } else {
+      log_path = input;
+    }
+  }
   const bool have_store = !store_path.empty();
   store::EventStore event_store;
   if (have_store && !open_store(store_path, event_store)) return 1;
@@ -233,15 +277,18 @@ int cmd_analyze(const Args& args) {
   std::optional<core::Dataset> dataset;
   if (needs_dataset) {
     dataset = have_store ? apply_cli_filter(core::dataset_from_store(event_store), args)
-                         : load_dataset(args, nullptr);
+                         : load_dataset(args, nullptr, log_path);
     if (!dataset) return usage();
   }
+  // One polymorphic handle for the analysis calls below: the filtered Dataset
+  // when one was built, the mapped store otherwise.
+  const core::Source source =
+      dataset ? core::Source(*dataset) : core::Source(event_store);
 
   if (report == "afr") {
     core::TextTable table({"class", "disk", "interconnect", "protocol", "performance",
                            "total AFR", "disk-years"});
-    const auto rows =
-        dataset ? core::afr_by_class(*dataset) : core::afr_by_class(event_store);
+    const auto rows = core::afr_by_class(source);
     for (const auto& b : rows) {
       table.add_row({b.label, core::fmt(b.afr_pct(model::FailureType::kDisk), 2),
                      core::fmt(b.afr_pct(model::FailureType::kPhysicalInterconnect), 2),
@@ -254,8 +301,7 @@ int cmd_analyze(const Args& args) {
     core::TextTable table({"scope", "series", "gaps", "within 10^3 s", "within 10^4 s",
                            "within 10^5 s"});
     for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
-      const auto r = dataset ? core::time_between_failures(*dataset, scope)
-                             : core::time_between_failures(event_store, scope);
+      const auto r = core::time_between_failures(source, scope);
       const char* scope_name = scope == core::Scope::kShelf ? "shelf" : "raid-group";
       for (std::size_t s = 0; s < core::kSeriesCount; ++s) {
         const std::string label =
@@ -273,9 +319,7 @@ int cmd_analyze(const Args& args) {
     core::TextTable table(
         {"scope", "type", "windows", "P(1)", "P(2)", "theory P(2)", "factor"});
     for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
-      const auto results = dataset
-                               ? core::failure_correlation_all_types(*dataset, scope)
-                               : core::failure_correlation_all_types(event_store, scope);
+      const auto results = core::failure_correlation_all_types(source, scope);
       for (const auto& r : results) {
         table.add_row({scope == core::Scope::kShelf ? "shelf" : "raid-group",
                        std::string(model::to_string(r.type)),
@@ -476,6 +520,25 @@ int cmd_store_build(const Args& args) {
   }
   std::cerr << "wrote " << run->dataset.events().size() << "-event store ("
             << run->dataset.inventory().disks.size() << " disk records) to " << out << "\n";
+
+  // Every store build leaves a provenance manifest beside the artifact, so a
+  // store file can always be traced back to the run that produced it.
+  obs::RunManifest manifest;
+  manifest.tool = "storsubsim store build";
+  manifest.seed = seed;
+  manifest.scale = scale;
+  manifest.threads = util::thread_count();
+  manifest.info.emplace_back("out", out);
+  manifest.info.emplace_back("source", from_logs ? "logs" : "simulate");
+  manifest.numbers.emplace_back("events",
+                                static_cast<double>(run->dataset.events().size()));
+  manifest.numbers.emplace_back(
+      "disk_records", static_cast<double>(run->dataset.inventory().disks.size()));
+  const std::string manifest_path = out + ".manifest.json";
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    std::cerr << "cannot write manifest " << manifest_path << "\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -595,6 +658,15 @@ int cmd_store(const Args& args) {
   return usage();
 }
 
+int dispatch(const Args& args) {
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "inspect") return cmd_inspect(args);
+  if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "store") return cmd_store(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -603,10 +675,38 @@ int main(int argc, char** argv) {
   // are identical for any thread count; see docs/performance.md.
   util::set_thread_count(
       static_cast<unsigned>(args.get_double("threads", 0.0)));
-  if (args.command == "simulate") return cmd_simulate(args);
-  if (args.command == "analyze") return cmd_analyze(args);
-  if (args.command == "inspect") return cmd_inspect(args);
-  if (args.command == "predict") return cmd_predict(args);
-  if (args.command == "store") return cmd_store(args);
-  return usage();
+
+  // Observability is opt-in and side-channel only: stdout (the analysis
+  // output) carries the same bytes whether these flags are set or not.
+  const std::string trace_path = args.get("trace");
+  if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
+  const int rc = dispatch(args);
+  if (rc != 0) return rc;
+
+  if (!trace_path.empty() && !obs::write_trace_json(trace_path)) {
+    std::cerr << "cannot write trace " << trace_path << "\n";
+    return 1;
+  }
+  const std::string manifest_path = args.get("manifest");
+  if (!manifest_path.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "storsubsim " + args.command +
+                    (args.subcommand.empty() ? "" : " " + args.subcommand);
+    manifest.seed = static_cast<std::uint64_t>(args.get_double("seed", 0.0));
+    manifest.scale = args.get_double("scale", 0.0);
+    manifest.threads = util::thread_count();
+    for (const char* key : {"logs", "snapshot", "store", "input", "out", "report"}) {
+      const std::string value = args.get(key);
+      if (!value.empty()) manifest.info.emplace_back(key, value);
+    }
+    if (!obs::write_manifest(manifest_path, manifest)) {
+      std::cerr << "cannot write manifest " << manifest_path << "\n";
+      return 1;
+    }
+  }
+  if (args.has_flag("metrics")) {
+    std::cerr << obs::registry().snapshot().to_text();
+  }
+  return 0;
 }
