@@ -1,16 +1,23 @@
 // Perf baseline for the fleet-parallel execution layer.
 //
-// Times `simulate_and_analyze` (simulate -> emit logs -> parse -> classify)
-// serially and with the configured worker count, verifies the two runs
-// produce identical datasets, and writes the measurements to
+// Sweeps `simulate_and_analyze` (simulate -> emit logs -> parse -> classify)
+// across a thread ladder (default 1/2/4/8), verifies every configuration
+// produces the identical dataset, and writes the scaling curve to
 // BENCH_parallel.json so later PRs can track the trajectory.
 //
-//   parallel_baseline [--threads=<n>] [--seed=<n>] [--repeat=<n>] [--out=<path>]
+//   parallel_baseline [--threads-list=1,2,4,8] [--seed=<n>] [--repeat=<n>]
+//                     [--out=<path>]
 //
 // --repeat runs each timed configuration n times and keeps the fastest run
 // (min-of-N suppresses scheduler noise; the dataset is identical each time).
-// The serial row also records the per-stage wall-time breakdown reported by
-// the pipeline (PipelineStats::stage_seconds).
+// The serial rung also records the per-stage wall-time breakdown reported by
+// the pipeline (PipelineStats::stage_seconds), and the JSON records the
+// process peak RSS.
+//
+// Single-core guard: a scaling curve measured on a 1-hardware-thread host is
+// pure scheduler noise dressed up as a speedup, so this bench REFUSES to run
+// there — it writes a stub JSON recording the refusal and exits non-zero.
+// Regenerate BENCH_parallel.json on a multicore box (docs/performance.md).
 //
 // Scales measured: 0.25 and 1.0 (the paper's full ~39k-system fleet).
 #include <chrono>
@@ -24,20 +31,23 @@
 #include "model/fleet_config.h"
 #include "obs/obs.h"
 #include "util/parallel.h"
+#include "util/rss.h"
 
 namespace {
 
 using namespace storsubsim;
 
+struct Rung {
+  unsigned threads = 1;
+  double seconds = 0.0;
+  bool identical = true;  ///< dataset equals the serial rung's, event by event
+};
+
 struct Measurement {
-  double scale;
-  unsigned threads_serial;
-  unsigned threads_parallel;
-  double serial_seconds;
-  double parallel_seconds;
-  std::size_t events;
-  bool identical;
+  double scale = 0.0;
+  std::size_t events = 0;
   core::StageSeconds serial_stages;  // breakdown of the fastest serial run
+  std::vector<Rung> sweep;
 };
 
 double time_run(const model::FleetConfig& config, std::size_t* events_out,
@@ -64,11 +74,7 @@ double best_of(int repeat, const model::FleetConfig& config, std::size_t* events
   return best;
 }
 
-bool runs_identical(const model::FleetConfig& config, unsigned threads_a, unsigned threads_b) {
-  util::set_thread_count(threads_a);
-  const auto a = core::simulate_and_analyze(config);
-  util::set_thread_count(threads_b);
-  const auto b = core::simulate_and_analyze(config);
+bool datasets_equal(const core::SimulationDataset& a, const core::SimulationDataset& b) {
   if (a.dataset.events().size() != b.dataset.events().size()) return false;
   for (std::size_t i = 0; i < a.dataset.events().size(); ++i) {
     if (!(a.dataset.events()[i] == b.dataset.events()[i])) return false;
@@ -76,17 +82,29 @@ bool runs_identical(const model::FleetConfig& config, unsigned threads_a, unsign
   return true;
 }
 
+std::vector<unsigned> parse_threads_list(std::string_view text) {
+  std::vector<unsigned> out;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string token(text.substr(0, comma));
+    if (!token.empty()) out.push_back(static_cast<unsigned>(std::stoul(token)));
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  unsigned threads = util::hardware_threads();
+  std::vector<unsigned> threads_list = {1, 2, 4, 8};
   std::uint64_t seed = 20080226;
-  int repeat = 1;
+  int repeat = 3;
   std::string out_path = "BENCH_parallel.json";
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg.starts_with("--threads=")) {
-      threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
+    if (arg.starts_with("--threads-list=")) {
+      threads_list = parse_threads_list(arg.substr(15));
     } else if (arg.starts_with("--seed=")) {
       seed = std::stoull(std::string(arg.substr(7)));
     } else if (arg.starts_with("--repeat=")) {
@@ -95,52 +113,87 @@ int main(int argc, char** argv) {
       out_path = std::string(arg.substr(6));
     }
   }
-  if (threads == 0) threads = util::hardware_threads();
   if (repeat < 1) repeat = 1;
+  if (threads_list.empty() || threads_list.front() != 1) {
+    threads_list.insert(threads_list.begin(), 1);  // serial rung anchors the curve
+  }
+
+  const unsigned hw = util::hardware_threads();
+  if (hw <= 1) {
+    // Fail loudly instead of publishing noise: with one hardware thread every
+    // "parallel" rung is the serial path plus scheduler jitter, and a
+    // committed speedup number from such a box would be fiction.
+    std::cerr << "parallel_baseline: this host has " << hw
+              << " hardware thread(s); a thread-scaling curve measured here is "
+                 "meaningless.\nRefusing to write measurements — rerun on a "
+                 "multicore host (see docs/performance.md).\n";
+    std::ofstream out(out_path);
+    out << "{\n  \"benchmark\": \"simulate_and_analyze\",\n  \"hardware_threads\": " << hw
+        << ",\n  \"seed\": " << seed
+        << ",\n  \"error\": \"single-core host: thread-scaling sweep refused; rerun on "
+           "a multicore box\",\n  \"runs\": []\n}\n";
+    std::cout << "wrote refusal stub to " << out_path << "\n";
+    return 1;
+  }
 
   std::vector<Measurement> rows;
   for (const double scale : {0.25, 1.0}) {
     const auto config = model::standard_fleet_config(scale, seed);
-    Measurement m{};
+    Measurement m;
     m.scale = scale;
-    m.threads_serial = 1;
-    m.threads_parallel = threads;
 
     util::set_thread_count(1);
-    m.serial_seconds = best_of(repeat, config, &m.events, &m.serial_stages);
-    util::set_thread_count(threads);
-    m.parallel_seconds = best_of(repeat, config, nullptr, nullptr);
-    m.identical = runs_identical(config, 1, threads);
+    const auto serial_reference = core::simulate_and_analyze(config);
+
+    for (const unsigned t : threads_list) {
+      util::set_thread_count(t);
+      Rung rung;
+      rung.threads = t;
+      rung.seconds = best_of(repeat, config,
+                             t == 1 ? &m.events : nullptr,
+                             t == 1 ? &m.serial_stages : nullptr);
+      rung.identical =
+          t == 1 || datasets_equal(serial_reference, core::simulate_and_analyze(config));
+      m.sweep.push_back(rung);
+    }
     rows.push_back(m);
 
     const auto& st = m.serial_stages;
-    std::cout << "scale " << scale << ": serial " << m.serial_seconds << " s, " << threads
-              << " threads " << m.parallel_seconds << " s (speedup "
-              << m.serial_seconds / m.parallel_seconds << "x), " << m.events << " events, "
-              << (m.identical ? "bit-identical" : "MISMATCH") << "\n"
+    std::cout << "scale " << scale << ": " << m.events << " events\n"
               << "  serial stages: simulate " << st.simulate << " s, emit " << st.emit
               << " s, parse " << st.parse << " s, classify " << st.classify << " s, sort "
               << st.sort << " s\n";
+    const double serial_seconds = m.sweep.front().seconds;
+    for (const Rung& rung : m.sweep) {
+      std::cout << "  " << rung.threads << " thread(s): " << rung.seconds << " s (speedup "
+                << serial_seconds / rung.seconds << "x), "
+                << (rung.identical ? "bit-identical" : "MISMATCH") << "\n";
+    }
   }
   util::set_thread_count(0);
 
+  const std::uint64_t peak_rss = util::peak_rss_bytes();
   std::ofstream out(out_path);
-  out << "{\n  \"benchmark\": \"simulate_and_analyze\",\n  \"hardware_threads\": "
-      << util::hardware_threads() << ",\n  \"seed\": " << seed
-      << ",\n  \"repeat\": " << repeat << ",\n  \"runs\": [\n";
+  out << "{\n  \"benchmark\": \"simulate_and_analyze\",\n  \"hardware_threads\": " << hw
+      << ",\n  \"seed\": " << seed << ",\n  \"repeat\": " << repeat
+      << ",\n  \"peak_rss_bytes\": " << peak_rss << ",\n  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Measurement& m = rows[i];
     const auto& st = m.serial_stages;
+    const double serial_seconds = m.sweep.front().seconds;
     out << "    {\"scale\": " << m.scale << ", \"events\": " << m.events
-        << ", \"serial_seconds\": " << m.serial_seconds
-        << ", \"threads\": " << m.threads_parallel
-        << ", \"parallel_seconds\": " << m.parallel_seconds
-        << ", \"speedup\": " << m.serial_seconds / m.parallel_seconds
-        << ", \"bit_identical\": " << (m.identical ? "true" : "false")
         << ",\n     \"serial_stage_seconds\": {\"simulate\": " << st.simulate
         << ", \"emit\": " << st.emit << ", \"parse\": " << st.parse
-        << ", \"classify\": " << st.classify << ", \"sort\": " << st.sort << "}}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"classify\": " << st.classify << ", \"sort\": " << st.sort << "}"
+        << ",\n     \"sweep\": [";
+    for (std::size_t r = 0; r < m.sweep.size(); ++r) {
+      const Rung& rung = m.sweep[r];
+      out << (r == 0 ? "" : ", ") << "{\"threads\": " << rung.threads
+          << ", \"seconds\": " << rung.seconds
+          << ", \"speedup\": " << serial_seconds / rung.seconds
+          << ", \"bit_identical\": " << (rung.identical ? "true" : "false") << "}";
+    }
+    out << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";
@@ -150,13 +203,17 @@ int main(int argc, char** argv) {
   manifest.tool = "bench/parallel_baseline";
   manifest.seed = seed;
   manifest.scale = rows.empty() ? 0.0 : rows.back().scale;
-  manifest.threads = threads;
+  manifest.threads = hw;
   manifest.info.emplace_back("out", out_path);
+  manifest.numbers.emplace_back("peak_rss_bytes", static_cast<double>(peak_rss));
   for (const Measurement& m : rows) {
     const std::string prefix = "scale_" + std::to_string(m.scale) + ".";
-    manifest.numbers.emplace_back(prefix + "serial_seconds", m.serial_seconds);
-    manifest.numbers.emplace_back(prefix + "parallel_seconds", m.parallel_seconds);
-    manifest.numbers.emplace_back(prefix + "speedup", m.serial_seconds / m.parallel_seconds);
+    const double serial_seconds = m.sweep.front().seconds;
+    for (const Rung& rung : m.sweep) {
+      manifest.numbers.emplace_back(
+          prefix + "threads_" + std::to_string(rung.threads) + ".speedup",
+          serial_seconds / rung.seconds);
+    }
   }
   std::string manifest_path = out_path;
   if (manifest_path.ends_with(".json")) {
@@ -169,6 +226,8 @@ int main(int argc, char** argv) {
   }
 
   bool all_identical = true;
-  for (const Measurement& m : rows) all_identical = all_identical && m.identical;
+  for (const Measurement& m : rows) {
+    for (const Rung& rung : m.sweep) all_identical = all_identical && rung.identical;
+  }
   return all_identical ? 0 : 1;
 }

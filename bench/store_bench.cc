@@ -15,9 +15,18 @@
 //
 //   store_bench [--scale=<f>] [--seed=<n>] [--repeat=<n>] [--threads=<n>]
 //               [--store=<path>] [--out=<path>]
+//               [--shards=<n>] [--max-rss-mb=<m>]
 //
 // --repeat keeps the fastest of n runs per stage (min-of-N). --store names
 // the store file written during the run (default: a file next to the json).
+//
+// Passing --shards and/or --max-rss-mb switches to the sharded build path:
+// --store then names a DIRECTORY that receives N STORCOL1 shards plus a
+// MANIFEST (core::build_sharded_store), and the bench additionally reports
+// the shard count, the per-shard build seconds, and the cold cross-shard
+// rerun cost (fresh ShardStore open + merged AFR + grouped query spanning
+// every shard). The fidelity gates are unchanged: the merged answers must
+// equal the in-memory pipeline's bit for bit.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -29,12 +38,15 @@
 
 #include "core/afr.h"
 #include "core/pipeline.h"
+#include "core/sharded_build.h"
 #include "obs/obs.h"
 #include "core/store_bridge.h"
 #include "model/fleet_config.h"
 #include "store/query.h"
 #include "store/reader.h"
+#include "store/shards.h"
 #include "util/parallel.h"
+#include "util/rss.h"
 
 namespace {
 
@@ -65,8 +77,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 20080226;
   int repeat = 3;
   unsigned threads = 0;
+  std::size_t shard_opt = 0;
+  std::uint64_t max_rss_mb = 0;
   std::string out_path = "BENCH_store.json";
-  std::string store_path = "BENCH_store.store";
+  std::string store_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.starts_with("--scale=")) {
@@ -77,6 +91,10 @@ int main(int argc, char** argv) {
       repeat = static_cast<int>(std::stoul(std::string(arg.substr(9))));
     } else if (arg.starts_with("--threads=")) {
       threads = static_cast<unsigned>(std::stoul(std::string(arg.substr(10))));
+    } else if (arg.starts_with("--shards=")) {
+      shard_opt = std::stoul(std::string(arg.substr(9)));
+    } else if (arg.starts_with("--max-rss-mb=")) {
+      max_rss_mb = std::stoull(std::string(arg.substr(13)));
     } else if (arg.starts_with("--store=")) {
       store_path = std::string(arg.substr(8));
     } else if (arg.starts_with("--out=")) {
@@ -84,6 +102,10 @@ int main(int argc, char** argv) {
     }
   }
   if (repeat < 1) repeat = 1;
+  const bool sharded = shard_opt > 0 || max_rss_mb > 0;
+  if (store_path.empty()) {
+    store_path = sharded ? "BENCH_store.shards" : "BENCH_store.store";
+  }
   util::set_thread_count(threads);
 
   // The cost a store-less rerun pays: the full text-log pipeline.
@@ -95,41 +117,91 @@ int main(int argc, char** argv) {
             << pipeline_seconds << " s full pipeline)\n";
   const auto reference = core::afr_by_class(core::Source(run.dataset));
 
-  // Build cost (paid once per simulation).
+  // Build cost (paid once per simulation). The sharded path re-simulates in
+  // chunks (that is the point: bounded memory), so its build time includes
+  // the simulation; the monolithic path serializes the run already in hand.
   double build_seconds = 0.0;
+  std::size_t shard_count = 0;
+  std::vector<double> shard_build_seconds;
   for (int r = 0; r < repeat; ++r) {
     t0 = now_seconds();
-    const auto err = core::write_store(store_path, run, seed, scale);
+    store::Error err;
+    core::ShardedBuildResult built;
+    if (sharded) {
+      core::ShardedBuildOptions options;
+      options.shards = shard_opt;
+      options.max_rss_mb = max_rss_mb;
+      err = core::build_sharded_store(store_path,
+                                      model::standard_fleet_config(scale, seed), options,
+                                      &built);
+    } else {
+      err = core::write_store(store_path, run, seed, scale);
+    }
     const double elapsed = now_seconds() - t0;
     if (!err.ok()) {
       std::cerr << "FAIL: cannot write store: " << err.describe() << "\n";
       return 1;
     }
-    if (r == 0 || elapsed < build_seconds) build_seconds = elapsed;
+    if (r == 0 || elapsed < build_seconds) {
+      build_seconds = elapsed;
+      if (sharded) {
+        shard_count = built.shards;
+        shard_build_seconds = std::move(built.shard_build_seconds);
+      }
+    }
   }
   std::uint64_t file_bytes = 0;
-  {
+  if (sharded) {
+    store::ShardStore probe;
+    if (const auto err = probe.open(store_path); !err.ok()) {
+      std::cerr << "FAIL: cannot open shard directory: " << err.describe() << "\n";
+      return 1;
+    }
+    for (std::size_t s = 0; s < probe.shard_count(); ++s) {
+      file_bytes += probe.info(s).file_size;
+    }
+  } else {
     std::ifstream in(store_path, std::ios::binary | std::ios::ate);
     file_bytes = static_cast<std::uint64_t>(in.tellg());
   }
 
   // Rerun cost (paid per reanalysis): cold open + the whole-fleet AFR
   // breakdown + a grouped full-scan query. Each repeat re-opens the file so
-  // header/footer validation, CRCs and time-column decoding are all counted.
+  // header/footer validation, CRCs and time-column decoding are all counted;
+  // in sharded mode each repeat is a fresh ShardStore whose analysis crosses
+  // every shard (manifest parse + N lazy shard validations included).
   double rerun_seconds = 0.0;
   std::vector<core::AfrBreakdown> store_breakdown;
   store::QueryResult grouped;
   for (int r = 0; r < repeat; ++r) {
-    t0 = now_seconds();
-    store::EventStore es;
-    if (const auto err = es.open(store_path); !err.ok()) {
-      std::cerr << "FAIL: cannot open store: " << err.describe() << "\n";
-      return 1;
+    std::vector<core::AfrBreakdown> breakdown;
+    store::QueryResult result;
+    if (sharded) {
+      t0 = now_seconds();
+      store::ShardStore shards;
+      if (const auto err = shards.open(store_path); !err.ok()) {
+        std::cerr << "FAIL: cannot open shard directory: " << err.describe() << "\n";
+        return 1;
+      }
+      breakdown = core::afr_by_class(core::Source(shards));
+      store::Query query;
+      query.group_by = store::Query::GroupBy::kSystemClass;
+      if (const auto err = store::run_query(shards, query, &result); !err.ok()) {
+        std::cerr << "FAIL: sharded query: " << err.describe() << "\n";
+        return 1;
+      }
+    } else {
+      t0 = now_seconds();
+      store::EventStore es;
+      if (const auto err = es.open(store_path); !err.ok()) {
+        std::cerr << "FAIL: cannot open store: " << err.describe() << "\n";
+        return 1;
+      }
+      breakdown = core::afr_by_class(core::Source(es));
+      store::Query query;
+      query.group_by = store::Query::GroupBy::kSystemClass;
+      result = store::run_query(es, query);
     }
-    auto breakdown = core::afr_by_class(core::Source(es));
-    store::Query query;
-    query.group_by = store::Query::GroupBy::kSystemClass;
-    auto result = store::run_query(es, query);
     const double elapsed = now_seconds() - t0;
     if (r == 0 || elapsed < rerun_seconds) rerun_seconds = elapsed;
     if (r == 0) {
@@ -156,9 +228,12 @@ int main(int argc, char** argv) {
     }
   }
   const double speedup = rerun_seconds > 0.0 ? pipeline_seconds / rerun_seconds : 0.0;
+  const std::uint64_t peak_rss = util::peak_rss_bytes();
 
-  std::cout << "store: " << file_bytes << " bytes, build " << build_seconds
-            << " s, mmap+query rerun " << rerun_seconds << " s\n"
+  std::cout << "store: " << file_bytes << " bytes";
+  if (sharded) std::cout << " across " << shard_count << " shard(s)";
+  std::cout << ", build " << build_seconds << " s, mmap+query rerun " << rerun_seconds
+            << " s\n"
             << "rerun speedup over full pipeline: " << speedup << "x\n"
             << "AFR breakdown " << (breakdown_identical ? "bit-identical" : "MISMATCH")
             << ", query counts " << (query_identical ? "identical" : "MISMATCH") << "\n";
@@ -170,6 +245,16 @@ int main(int argc, char** argv) {
       << "  \"events\": " << run.dataset.events().size()
       << ",\n  \"disk_records\": " << run.dataset.inventory().disks.size() << ",\n"
       << "  \"store_bytes\": " << file_bytes << ",\n"
+      << "  \"shards\": " << shard_count << ",\n";
+  if (sharded) {
+    out << "  \"shard_build_seconds\": [";
+    for (std::size_t s = 0; s < shard_build_seconds.size(); ++s) {
+      out << (s == 0 ? "" : ", ") << shard_build_seconds[s];
+    }
+    out << "],\n"
+        << "  \"rerun_cold_cross_shard_seconds\": " << rerun_seconds << ",\n";
+  }
+  out << "  \"peak_rss_bytes\": " << peak_rss << ",\n"
       << "  \"pipeline_seconds\": " << pipeline_seconds << ",\n"
       << "  \"store_build_seconds\": " << build_seconds << ",\n"
       << "  \"rerun_open_query_seconds\": " << rerun_seconds << ",\n"
@@ -191,6 +276,8 @@ int main(int argc, char** argv) {
   manifest.numbers.emplace_back("rerun_open_query_seconds", rerun_seconds);
   manifest.numbers.emplace_back("rerun_speedup", speedup);
   manifest.numbers.emplace_back("store_bytes", static_cast<double>(file_bytes));
+  manifest.numbers.emplace_back("shards", static_cast<double>(shard_count));
+  manifest.numbers.emplace_back("peak_rss_bytes", static_cast<double>(peak_rss));
   std::string manifest_path = out_path;
   if (manifest_path.ends_with(".json")) {
     manifest_path.resize(manifest_path.size() - 5);

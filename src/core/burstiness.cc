@@ -104,11 +104,41 @@ BurstinessResult gaps_of(const store::EventStore& store, Scope scope) {
   return pooled_gaps(std::move(events), scope);
 }
 
+BurstinessResult gaps_of(const store::ShardStore& shards, Scope scope) {
+  // Same bucketing as the single-file path with each shard's local ids
+  // rebased through the MANIFEST bases. pooled_gaps re-sorts by (scope,
+  // time), and a scope never spans shards, so the shard-major collection
+  // order is immaterial.
+  std::vector<ScopedEvent> events;
+  events.reserve(static_cast<std::size_t>(shards.manifest().events));
+  for (const auto cls : model::kAllSystemClasses) {
+    for (std::size_t s = 0; s < shards.shard_count(); ++s) {
+      const store::EventView& view = shards.shard_checked(s).events(cls);
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        std::uint32_t scope_id;
+        if (scope == Scope::kShelf) {
+          scope_id = static_cast<std::uint32_t>(shards.global_shelf(s, view.shelf[i]));
+        } else {
+          if (!model::RaidGroupId(view.raid_group[i]).valid()) continue;
+          scope_id =
+              static_cast<std::uint32_t>(shards.global_raid_group(s, view.raid_group[i]));
+        }
+        events.push_back(
+            ScopedEvent{view.time[i], scope_id,
+                        static_cast<std::uint32_t>(shards.global_disk(s, view.disk[i])),
+                        view.type[i]});
+      }
+    }
+  }
+  return pooled_gaps(std::move(events), scope);
+}
+
 }  // namespace
 
 BurstinessResult time_between_failures(const Source& source, Scope scope) {
   if (const Dataset* d = source.dataset()) return gaps_of(*d, scope);
-  return gaps_of(*source.store(), scope);
+  if (const store::EventStore* s = source.store()) return gaps_of(*s, scope);
+  return gaps_of(*source.shards(), scope);
 }
 
 stats::Ecdf BurstinessResult::ecdf(std::size_t series) const {

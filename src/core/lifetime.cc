@@ -87,11 +87,58 @@ std::vector<stats::SurvivalObservation> observations_of(const store::EventStore&
   return out;
 }
 
+std::vector<stats::SurvivalObservation> observations_of(const store::ShardStore& shards) {
+  // The monolithic disk order is [every shard's initial disks, in shard
+  // order] then [every shard's replacement disks, in shard order]
+  // (docs/STORE.md), so two shard-major passes — initial rows first, then
+  // replacement rows — reproduce the single-file observation sequence
+  // exactly. Events reference shard-local disk ids, so each shard gets its
+  // own failed-disk set.
+  std::vector<std::unordered_set<std::uint32_t>> failed(shards.shard_count());
+  for (std::size_t s = 0; s < shards.shard_count(); ++s) {
+    const store::EventStore& store = shards.shard_checked(s);
+    for (const auto cls : model::kAllSystemClasses) {
+      const store::EventView& view = store.events(cls);
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        if (view.type[i] == static_cast<std::uint8_t>(model::FailureType::kDisk)) {
+          failed[s].insert(view.disk[i]);
+        }
+      }
+    }
+  }
+
+  std::vector<stats::SurvivalObservation> out;
+  out.reserve(static_cast<std::size_t>(shards.manifest().disks_total));
+  for (const bool replacement_pass : {false, true}) {
+    for (std::size_t s = 0; s < shards.shard_count(); ++s) {
+      const store::EventStore& store = shards.shard(s);
+      const double horizon = store.header().horizon_seconds;
+      const auto install = store.topology(store::ColumnId::kDiskInstall)->as_f64();
+      const auto remove = store.topology(store::ColumnId::kDiskRemove)->as_f64();
+      const auto initial = static_cast<std::size_t>(shards.info(s).disks_initial);
+      const std::size_t begin = replacement_pass ? initial : 0;
+      const std::size_t end = replacement_pass ? install.size() : initial;
+      for (std::size_t i = begin; i < end; ++i) {
+        const double start = std::max(0.0, install[i]);
+        const double stop = std::min(horizon, remove[i]);
+        if (stop <= start) continue;  // never observed inside the window
+        stats::SurvivalObservation obs;
+        obs.duration = stop - start;
+        obs.event = failed[s].contains(static_cast<std::uint32_t>(i)) &&
+                    remove[i] <= horizon;
+        out.push_back(obs);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<stats::SurvivalObservation> disk_lifetime_observations(const Source& source) {
   if (const Dataset* d = source.dataset()) return observations_of(*d);
-  return observations_of(*source.store());
+  if (const store::EventStore* s = source.store()) return observations_of(*s);
+  return observations_of(*source.shards());
 }
 
 LifetimeReport disk_lifetime_report(const Source& source,

@@ -1,0 +1,204 @@
+#include "core/sharded_build.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/store_bridge.h"
+#include "model/fleet.h"
+#include "obs/obs.h"
+#include "sim/simulator.h"
+#include "util/parallel.h"
+#include "util/rss.h"
+
+namespace storsubsim::core {
+
+namespace {
+
+/// Creates `dir` if it does not exist yet (one level; the parent must
+/// exist). Returns false when the path exists but is not a directory, or
+/// the creation fails.
+bool ensure_directory(const std::string& dir) {
+  struct ::stat st {};
+  if (::stat(dir.c_str(), &st) == 0) return S_ISDIR(st.st_mode);
+  return ::mkdir(dir.c_str(), 0775) == 0;
+}
+
+std::string shard_file_name(std::size_t index) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "shard-%04zu.store", index);
+  return std::string(buf);
+}
+
+/// Chunk boundaries in global system indices: `shards + 1` cut points,
+/// strictly increasing, chosen so each chunk carries roughly the same
+/// number of *initial* disks (the memory driver), using the plan's
+/// cumulative disk counts.
+std::vector<std::size_t> chunk_bounds(const model::FleetPlan& plan, std::size_t shards) {
+  const std::size_t n_systems = plan.system_count();
+  const std::uint64_t total_disks = plan.disks.back();
+  std::vector<std::size_t> bounds(shards + 1, 0);
+  bounds[shards] = n_systems;
+  for (std::size_t s = 1; s < shards; ++s) {
+    const std::uint64_t target = total_disks * s / shards;
+    const auto it = std::lower_bound(plan.disks.begin(), plan.disks.end(), target);
+    bounds[s] = static_cast<std::size_t>(it - plan.disks.begin());
+  }
+  // Enforce strict monotonicity (possible ties when systems are huge or
+  // shards ~ systems): every chunk must own at least one system.
+  for (std::size_t s = 1; s < shards; ++s) {
+    bounds[s] = std::max(bounds[s], bounds[s - 1] + 1);
+  }
+  for (std::size_t s = shards; s-- > 1;) {
+    bounds[s] = std::min(bounds[s], bounds[s + 1] - 1);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+store::Error build_sharded_store(const std::string& dir, const model::FleetConfig& config,
+                                 const ShardedBuildOptions& options,
+                                 ShardedBuildResult* result) {
+  obs::Span span("store.sharded_build");
+  if (!ensure_directory(dir)) {
+    return store::Error{store::ErrorCode::kIo, "cannot create shard directory"};
+  }
+
+  // Plan pass: cumulative topology counts in bounded memory. Everything the
+  // chunking decisions need, without building the fleet.
+  const model::FleetPlan plan = model::Fleet::plan(config);
+  const std::size_t n_systems = plan.system_count();
+  if (n_systems == 0) {
+    return store::Error{store::ErrorCode::kBadValue, "empty fleet config"};
+  }
+  const std::uint64_t total_disks = plan.disks.back();
+  const std::uint64_t budget_bytes = options.max_rss_mb * 1024 * 1024;
+
+  std::size_t shards = options.shards;
+  if (shards == 0) {
+    if (budget_bytes > 0) {
+      // Smallest shard count whose single-chunk working set fits the budget.
+      shards = static_cast<std::size_t>(
+          (total_disks * kBuildBytesPerDisk + budget_bytes - 1) / budget_bytes);
+      if (shards == 0) shards = 1;
+    } else {
+      shards = 1;
+    }
+  }
+  shards = std::min(shards, n_systems);
+  if (shards == 0) shards = 1;
+
+  // A budget also caps how many chunks may be resident at once.
+  unsigned build_threads = 0;  // 0 = resolved thread_count()
+  if (budget_bytes > 0) {
+    const std::uint64_t chunk_disks = (total_disks + shards - 1) / shards;
+    const std::uint64_t chunk_bytes = chunk_disks * kBuildBytesPerDisk;
+    const std::uint64_t in_flight = chunk_bytes == 0 ? 1 : budget_bytes / chunk_bytes;
+    build_threads = static_cast<unsigned>(std::clamp<std::uint64_t>(
+        in_flight, 1, util::thread_count()));
+  }
+
+  STORSIM_OBS_COUNTER(c_shards, "store.sharded_build.shards",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_shards, shards);
+
+  const std::vector<std::size_t> bounds = chunk_bounds(plan, shards);
+
+  // Per-shard outputs land in disjoint slots; the fan-out is bit-identical
+  // to the serial loop because each chunk depends only on (config, range).
+  std::vector<store::ShardInfo> infos(shards);
+  std::vector<store::Error> errors(shards);
+  std::vector<double> seconds(shards, 0.0);
+
+  util::parallel_for(
+      shards,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          obs::Span shard_span("store.build_shard");
+          const std::size_t sys_begin = bounds[s];
+          const std::size_t sys_end = bounds[s + 1];
+
+          // Chunk fleet with global RNG positioning, then the monolithic
+          // simulate -> emit -> parse -> classify flow on the chunk alone.
+          model::Fleet fleet = model::Fleet::build_chunk(config, sys_begin, sys_end);
+          sim::SimIndexBases bases;
+          bases.system = sys_begin;
+          bases.shelf = plan.shelves[sys_begin];
+          sim::Simulator simulator(fleet, options.params, bases);
+          sim::SimResult sim_result = simulator.run();
+
+          PipelineStats pipeline;
+          Dataset dataset = dataset_via_logs(fleet, sim_result, &pipeline);
+          SimulationDataset run{std::move(dataset), sim_result.counters, pipeline};
+
+          store::ShardInfo& info = infos[s];
+          info.file = shard_file_name(s);
+          info.sys_begin = sys_begin;
+          info.sys_end = sys_end;
+          info.systems = fleet.systems().size();
+          info.shelves = fleet.shelves().size();
+          info.raid_groups = fleet.raid_groups().size();
+          info.disks_initial = fleet.initial_disk_count();
+          info.disks_total = fleet.disks().size();
+          info.events = run.dataset.events().size();
+
+          std::string path = dir;
+          path += '/';
+          path += info.file;
+          errors[s] = write_store(path, run, config.seed, config.scale);
+          seconds[s] = shard_span.stop();
+        }
+      },
+      build_threads);
+
+  for (const auto& err : errors) {
+    if (!err.ok()) return err;
+  }
+
+  // Merge pass: re-open each shard (full validation) and accumulate the
+  // exposure table in the monolithic order, plus the summed meta counters.
+  store::ShardManifest manifest;
+  manifest.seed = config.seed;
+  manifest.scale = config.scale;
+  manifest.horizon_seconds = config.horizon_seconds;
+  manifest.shards = std::move(infos);
+  if (store::Error err =
+          store::merge_shard_tables(dir, &manifest.shards, config.horizon_seconds,
+                                    &manifest.exposure, &manifest.meta);
+      !err.ok()) {
+    return err;
+  }
+  for (const auto& info : manifest.shards) {
+    manifest.systems += info.systems;
+    manifest.shelves += info.shelves;
+    manifest.disks_initial += info.disks_initial;
+    manifest.disks_total += info.disks_total;
+    manifest.raid_groups += info.raid_groups;
+    manifest.events += info.events;
+  }
+  manifest.peak_rss_bytes = util::peak_rss_bytes();
+  STORSIM_OBS_COUNTER(c_rss, "store.sharded_build.peak_rss_bytes",
+                      ::storsubsim::obs::Stability::kSchedulingDependent);
+  STORSIM_OBS_ADD(c_rss, manifest.peak_rss_bytes);
+
+  if (store::Error err = store::write_manifest_file(dir, manifest); !err.ok()) {
+    return err;
+  }
+
+  if (result != nullptr) {
+    result->shards = manifest.shards.size();
+    result->events = manifest.events;
+    result->disk_records = manifest.disks_total;
+    result->peak_rss_bytes = manifest.peak_rss_bytes;
+    result->shard_build_seconds = std::move(seconds);
+  }
+  return store::Error{};
+}
+
+}  // namespace storsubsim::core

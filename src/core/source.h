@@ -4,13 +4,20 @@
 // the in-memory Dataset (simulate -> emit -> parse -> classify), one taking
 // the mmap'd columnar store::EventStore. Every new statistic had to be
 // written twice. Source collapses the fork: it is a non-owning variant over
-// the two backends, implicitly constructible from either, so a single
-// `compute_afr(const Source&)`-style entry point serves both — and the two
-// code paths are pinned bit-identical by the Source equivalence suite
+// the backends, implicitly constructible from any of them, so a single
+// `compute_afr(const Source&)`-style entry point serves all — and the code
+// paths are pinned bit-identical by the Source equivalence suite
 // (tests/core/source_test.cc).
 //
-// Ownership: Source borrows. The referenced Dataset/EventStore must outlive
-// the Source; construction from temporaries is deleted to make the obvious
+// The third backend is a store::ShardStore — a sharded store directory
+// (docs/STORE.md). Analyses over it rebase each shard's local ids through
+// the MANIFEST's prefix-sum bases and reproduce the monolithic accumulation
+// order, so results are byte-identical to the single-file store. Shards are
+// faulted in lazily; wrap with open_all() first if a typed open error must
+// be surfaced (the lazy path throws std::runtime_error on a corrupt shard).
+//
+// Ownership: Source borrows. The referenced backend must outlive the
+// Source; construction from temporaries is deleted to make the obvious
 // dangling pattern (wrapping the result of dataset.filter(...) and keeping
 // it) a compile error. See docs/API.md.
 #pragma once
@@ -19,6 +26,7 @@
 
 #include "core/dataset.h"
 #include "store/reader.h"
+#include "store/shards.h"
 
 namespace storsubsim::core {
 
@@ -28,35 +36,44 @@ class Source {
   // compute_afr(store), not compute_afr(Source(dataset)).
   Source(const Dataset& dataset) noexcept : ref_(&dataset) {}          // NOLINT
   Source(const store::EventStore& store) noexcept : ref_(&store) {}    // NOLINT
+  Source(const store::ShardStore& shards) noexcept : ref_(&shards) {}  // NOLINT
   Source(Dataset&&) = delete;
   Source(store::EventStore&&) = delete;
+  Source(store::ShardStore&&) = delete;
 
   bool is_store() const noexcept {
     return std::holds_alternative<const store::EventStore*>(ref_);
   }
 
-  /// The dataset backend, or nullptr when store-backed.
+  /// The dataset backend, or nullptr otherwise.
   const Dataset* dataset() const noexcept {
     const auto* const* d = std::get_if<const Dataset*>(&ref_);
     return d != nullptr ? *d : nullptr;
   }
 
-  /// The store backend, or nullptr when dataset-backed.
+  /// The single-file store backend, or nullptr otherwise.
   const store::EventStore* store() const noexcept {
     const auto* const* s = std::get_if<const store::EventStore*>(&ref_);
     return s != nullptr ? *s : nullptr;
   }
 
-  /// Dispatches to exactly one of the callables; both must return the same
+  /// The shard-directory backend, or nullptr otherwise.
+  const store::ShardStore* shards() const noexcept {
+    const auto* const* s = std::get_if<const store::ShardStore*>(&ref_);
+    return s != nullptr ? *s : nullptr;
+  }
+
+  /// Dispatches to exactly one of the callables; all must return the same
   /// type. The workhorse of the single-entry-point analysis functions.
-  template <typename DatasetFn, typename StoreFn>
-  auto visit(DatasetFn&& on_dataset, StoreFn&& on_store) const {
+  template <typename DatasetFn, typename StoreFn, typename ShardsFn>
+  auto visit(DatasetFn&& on_dataset, StoreFn&& on_store, ShardsFn&& on_shards) const {
     if (const Dataset* d = dataset()) return on_dataset(*d);
-    return on_store(*store());
+    if (const store::EventStore* s = store()) return on_store(*s);
+    return on_shards(*shards());
   }
 
  private:
-  std::variant<const Dataset*, const store::EventStore*> ref_;
+  std::variant<const Dataset*, const store::EventStore*, const store::ShardStore*> ref_;
 };
 
 }  // namespace storsubsim::core

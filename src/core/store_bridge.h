@@ -14,6 +14,7 @@
 
 #include "core/pipeline.h"
 #include "store/reader.h"
+#include "store/shards.h"
 #include "store/writer.h"
 
 namespace storsubsim::core {
@@ -40,5 +41,19 @@ Dataset dataset_from_store(const store::EventStore& store);
 /// Dataset plus the original run's counters from the meta block. Stage
 /// timings are zero — nothing was simulated.
 SimulationDataset simulation_dataset_from_store(const store::EventStore& store);
+
+/// Rebuilds the monolithic Dataset from a shard directory: every shard's
+/// local ids are rebased through the MANIFEST bases and the inventory is
+/// stitched in the global order (systems/shelves/RAID groups shard-major;
+/// disks as initial blocks shard-major, then replacement blocks
+/// shard-major), so the result is bit-identical to dataset_from_store on
+/// the equivalent single-file store. This materializes the whole fleet —
+/// reach for the streaming Source(ShardStore) analyses when the fleet is
+/// too large. Requires/forces all shards open (throws on a corrupt shard).
+Dataset dataset_from_shards(const store::ShardStore& shards);
+
+/// Dataset plus the original run's counters from the MANIFEST's summed
+/// meta block.
+SimulationDataset simulation_dataset_from_shards(const store::ShardStore& shards);
 
 }  // namespace storsubsim::core

@@ -14,7 +14,27 @@
 #include "model/fleet_config.h"
 #include "model/topology.h"
 
+namespace storsubsim::stats {
+class Rng;
+}
+
 namespace storsubsim::model {
+
+/// Cumulative topology totals at every system boundary, produced by
+/// Fleet::plan in bounded memory (one system materialized at a time).
+/// Each prefix vector has total_systems() + 1 entries: entry g holds the
+/// totals over global systems [0, g), so the last entry is the whole-fleet
+/// total. Chunked builds use these to place a chunk's shelves, disks and
+/// RAID groups at their global offsets without building preceding chunks.
+struct FleetPlan {
+  std::vector<std::uint64_t> shelves;      ///< cumulative shelf count
+  std::vector<std::uint64_t> disks;        ///< cumulative *initial* disk count
+  std::vector<std::uint64_t> raid_groups;  ///< cumulative RAID group count
+
+  std::size_t system_count() const {
+    return shelves.empty() ? 0 : shelves.size() - 1;
+  }
+};
 
 class Fleet {
  public:
@@ -23,6 +43,26 @@ class Fleet {
 
   static Fleet build(const FleetConfig& config, const DiskModelRegistry& disk_models,
                      const ShelfModelRegistry& shelf_models);
+
+  /// Builds only the contiguous global system range [sys_begin, sys_end),
+  /// with chunk-local dense ids starting at 0. Every sampled value matches
+  /// the corresponding system of the monolithic build bit for bit: the
+  /// per-system RNG is positioned by replaying the preceding forks (a fork
+  /// consumes a fixed amount of parent entropy, independent of its key).
+  static Fleet build_chunk(const FleetConfig& config, std::size_t sys_begin,
+                           std::size_t sys_end);
+
+  static Fleet build_chunk(const FleetConfig& config, const DiskModelRegistry& disk_models,
+                           const ShelfModelRegistry& shelf_models, std::size_t sys_begin,
+                           std::size_t sys_end);
+
+  /// Sweeps every system through the shared per-system builder — resetting
+  /// the scratch topology between systems, so peak memory stays at one
+  /// system — and records the cumulative counts chunked builds need.
+  static FleetPlan plan(const FleetConfig& config);
+
+  static FleetPlan plan(const FleetConfig& config, const DiskModelRegistry& disk_models,
+                        const ShelfModelRegistry& shelf_models);
 
   // --- accessors ----------------------------------------------------------
 
@@ -70,6 +110,17 @@ class Fleet {
  private:
   Fleet(const FleetConfig& config, const DiskModelRegistry& disk_models,
         const ShelfModelRegistry& shelf_models);
+
+  /// Appends one fully-sampled system (shelves, disks, RAID groups) using
+  /// the current vector sizes as ids. The single source of truth for
+  /// per-system construction — build, build_chunk and plan all call it, so
+  /// the sampled topology can never diverge between the three paths.
+  void append_system(const CohortSpec& cohort, std::uint32_t cohort_idx,
+                     const ShelfModelInfo& shelf_info, stats::Rng rng);
+
+  /// Back-fills RAID-group membership onto the disk records and seals
+  /// initial_disk_count_. Called once after the last append_system.
+  void finish_build();
 
   FleetConfig config_;
   const DiskModelRegistry* disk_models_;

@@ -90,10 +90,11 @@ struct Simulator::ShelfContext {
   }
 };
 
-Simulator::Simulator(model::Fleet& fleet, SimParams params)
+Simulator::Simulator(model::Fleet& fleet, SimParams params, SimIndexBases bases)
     : fleet_(&fleet),
       params_(params),
-      root_(stats::make_root_rng(fleet.config().seed).stream("simulator")) {}
+      root_(stats::make_root_rng(fleet.config().seed).stream("simulator")),
+      bases_(bases) {}
 
 double Simulator::detection_time(double occur, Rng& rng) const {
   return occur + rng.uniform_pos() * params_.scrub_period_seconds;
@@ -138,7 +139,7 @@ void Simulator::simulate_disk_failures(std::uint32_t shelf_index, ShelfContext& 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue;
   std::vector<std::uint32_t> slot_generation(model::kShelfSlots, 0);
 
-  Rng rng = ctx.rng.stream("disk-chain", shelf_index);
+  Rng rng = ctx.rng.stream("disk-chain", bases_.shelf + shelf_index);
 
   auto propose_next = [&](std::uint32_t slot, double after, std::uint32_t gen) {
     const double t = after - std::log(rng.uniform_pos()) / lambda_max;
@@ -226,7 +227,7 @@ void Simulator::simulate_performance_failures(std::uint32_t shelf_index, ShelfCo
   const double isolated_rate =
       per_disk * (1.0 - inc.clustered_fraction) / params_.congestion.average_multiplier();
 
-  Rng rng = ctx.rng.stream("perf", shelf_index);
+  Rng rng = ctx.rng.stream("perf", bases_.shelf + shelf_index);
 
   // Isolated background, modulated by congestion windows.
   const std::vector<Window> windows = generate_windows(params_.congestion, horizon, rng);
@@ -286,7 +287,7 @@ void Simulator::simulate_shelf_interconnect_faults(std::uint32_t shelf_index, Sh
                             ((q > 0.0 ? q : 1.0 / n_occ) * model::kSecondsPerYear);
   if (fault_rate <= 0.0) return;
 
-  Rng rng = ctx.rng.stream("pi-shelf", shelf_index);
+  Rng rng = ctx.rng.stream("pi-shelf", bases_.shelf + shelf_index);
   double t = system.deploy_time;
   while (true) {
     t += -std::log(rng.uniform_pos()) / fault_rate;
@@ -315,7 +316,7 @@ void Simulator::simulate_shelf(std::uint32_t shelf_index, ShelfOutcome& out) {
                                   1.0 / params_.shelf_badness_shape);
 
   ShelfContext ctx;
-  ctx.rng = root_.stream("shelf", shelf_index);
+  ctx.rng = root_.stream("shelf", bases_.shelf + shelf_index);
   ctx.badness = badness_dist.sample(ctx.rng);
   ctx.env_windows = generate_windows(params_.environment, fleet_->horizon_seconds(), ctx.rng);
   ctx.occupied_slots.reserve(shelf.occupied_slots);
@@ -354,7 +355,7 @@ void Simulator::simulate_system_processes(std::uint32_t system_index, SimResult&
 
   // --- protocol failures ----------------------------------------------------
   {
-    Rng rng = root_.stream("sys-proto", system_index);
+    Rng rng = root_.stream("sys-proto", bases_.system + system_index);
     const IncidentProcess& inc = params_.protocol_incidents;
     const double per_disk = params_.protocol_base_afr_pct[model::index_of(system.cls)] *
                             kPctPerYearToPerSecond * disk_info.protocol_hazard_multiplier;
@@ -413,7 +414,7 @@ void Simulator::simulate_system_processes(std::uint32_t system_index, SimResult&
 
   // --- path-level interconnect faults --------------------------------------
   {
-    Rng rng = root_.stream("sys-path", system_index);
+    Rng rng = root_.stream("sys-path", bases_.system + system_index);
     const double r_pi = pi_rate_per_disk_year(system);
     const double q = params_.pi_cluster_prob_path;
     const double path_fraction = 1.0 - shelf_info.backplane_fraction;

@@ -60,11 +60,22 @@ struct SimResult {
   SimCounters counters;
 };
 
+/// Global index offsets for the per-shelf/per-system RNG substream keys.
+/// A chunked build hands the simulator a fleet whose dense ids are local to
+/// the chunk; supplying the chunk's global bases here makes every substream
+/// key match the monolithic run's, so a chunk simulates bit-identically to
+/// the same slice of the whole-fleet simulation. The default (all zeros) is
+/// the monolithic case.
+struct SimIndexBases {
+  std::uint64_t system = 0;
+  std::uint64_t shelf = 0;
+};
+
 class Simulator {
  public:
   /// The simulator mutates `fleet` (disk replacements); `fleet` must outlive
   /// the simulator.
-  Simulator(model::Fleet& fleet, SimParams params);
+  Simulator(model::Fleet& fleet, SimParams params, SimIndexBases bases = {});
 
   /// Runs the whole horizon, fanning shelf- and system-scope processes out
   /// across util::thread_count() workers. Deterministic for a given fleet
@@ -108,6 +119,7 @@ class Simulator {
   model::Fleet* fleet_;
   SimParams params_;
   stats::Rng root_;
+  SimIndexBases bases_;
   bool ran_ = false;
 };
 

@@ -44,19 +44,19 @@ QueryGroup finalize(std::string label, const GroupCounts& counts, double disk_ye
   return g;
 }
 
-}  // namespace
-
-QueryResult run_query(const EventStore& store, const Query& query) {
-  obs::Span span("store.query");
-  QueryResult result;
-
+/// Group accumulators shared by the single-store and sharded scans. All
+/// fields are integer counts, so accumulating several stores into one set
+/// of accumulators is exact and order-independent.
+struct QueryAccumulators {
   GroupCounts all;                                       // GroupBy::kNone
   std::array<GroupCounts, kClassCount> by_class{};       // GroupBy::kSystemClass
   std::array<GroupCounts, kFailureTypeCount> by_type{};  // GroupBy::kFailureType
   std::map<char, GroupCounts> by_family;                 // GroupBy::kDiskFamily
+};
 
-  const bool has_window = query.time_begin.has_value() || query.time_end.has_value();
-
+/// The block-pruned scan of one store, accumulating into `acc`/`stats`.
+void scan_store(const EventStore& store, const Query& query, QueryAccumulators& acc,
+                QueryStats& stats) {
   for (const auto cls : model::kAllSystemClasses) {
     if (query.system_class.has_value() && *query.system_class != cls) continue;
     const EventView& view = store.events(cls);
@@ -64,11 +64,11 @@ QueryResult run_query(const EventStore& store, const Query& query) {
     for (const auto& block : store.blocks(cls)) {
       if ((query.time_begin.has_value() && block.time_max < *query.time_begin) ||
           (query.time_end.has_value() && block.time_min >= *query.time_end)) {
-        ++result.stats.blocks_pruned;
+        ++stats.blocks_pruned;
         continue;
       }
-      ++result.stats.blocks_scanned;
-      result.stats.rows_scanned += block.rows;
+      ++stats.blocks_scanned;
+      stats.rows_scanned += block.rows;
 
       const std::size_t begin = static_cast<std::size_t>(block.row_begin);
       const std::size_t end = begin + static_cast<std::size_t>(block.rows);
@@ -83,19 +83,19 @@ QueryResult run_query(const EventStore& store, const Query& query) {
         const char family = static_cast<char>(view.family[i]);
         if (query.disk_family.has_value() && *query.disk_family != family) continue;
 
-        ++result.stats.rows_matched;
-        GroupCounts* group = &all;
+        ++stats.rows_matched;
+        GroupCounts* group = &acc.all;
         switch (query.group_by) {
           case Query::GroupBy::kNone:
             break;
           case Query::GroupBy::kSystemClass:
-            group = &by_class[model::index_of(cls)];
+            group = &acc.by_class[model::index_of(cls)];
             break;
           case Query::GroupBy::kFailureType:
-            group = &by_type[type];
+            group = &acc.by_type[type];
             break;
           case Query::GroupBy::kDiskFamily:
-            group = &by_family[family];
+            group = &acc.by_family[family];
             break;
         }
         ++group->events_by_type[type];
@@ -103,7 +103,30 @@ QueryResult run_query(const EventStore& store, const Query& query) {
       }
     }
   }
+}
 
+void emit_query_counters(const QueryStats& stats) {
+  STORSIM_OBS_COUNTER(c_rows_scanned, "store.query.rows_scanned",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_rows_scanned, stats.rows_scanned);
+  STORSIM_OBS_COUNTER(c_rows_matched, "store.query.rows_matched",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_rows_matched, stats.rows_matched);
+  STORSIM_OBS_COUNTER(c_blocks_scanned, "store.query.blocks_scanned",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_blocks_scanned, stats.blocks_scanned);
+  STORSIM_OBS_COUNTER(c_blocks_pruned, "store.query.blocks_pruned",
+                      ::storsubsim::obs::Stability::kDeterministic);
+  STORSIM_OBS_ADD(c_blocks_pruned, stats.blocks_pruned);
+}
+
+/// Turns accumulated counts into labeled groups using `exposure` for the
+/// denominators. Group identity and order depend only on the query and the
+/// exposure table, so a merged exposure table yields the same groups as
+/// the monolithic one.
+void emit_groups(const ExposureTable& exposure, const Query& query,
+                 const QueryAccumulators& acc, QueryResult& result) {
+  const bool has_window = query.time_begin.has_value() || query.time_end.has_value();
   // Rates come from stored cohort exposure; a time window has no stored
   // denominator, so windowed queries report counts only.
   const bool rates = !has_window;
@@ -111,7 +134,10 @@ QueryResult run_query(const EventStore& store, const Query& query) {
       query.system_class.has_value()
           ? std::optional<std::size_t>(model::index_of(*query.system_class))
           : std::nullopt;
-  const auto& exposure = store.exposure();
+  const GroupCounts& all = acc.all;
+  const auto& by_class = acc.by_class;
+  const auto& by_type = acc.by_type;
+  const auto& by_family = acc.by_family;
 
   switch (query.group_by) {
     case Query::GroupBy::kNone:
@@ -153,19 +179,35 @@ QueryResult run_query(const EventStore& store, const Query& query) {
       }
       break;
   }
-  STORSIM_OBS_COUNTER(c_rows_scanned, "store.query.rows_scanned",
-                      ::storsubsim::obs::Stability::kDeterministic);
-  STORSIM_OBS_ADD(c_rows_scanned, result.stats.rows_scanned);
-  STORSIM_OBS_COUNTER(c_rows_matched, "store.query.rows_matched",
-                      ::storsubsim::obs::Stability::kDeterministic);
-  STORSIM_OBS_ADD(c_rows_matched, result.stats.rows_matched);
-  STORSIM_OBS_COUNTER(c_blocks_scanned, "store.query.blocks_scanned",
-                      ::storsubsim::obs::Stability::kDeterministic);
-  STORSIM_OBS_ADD(c_blocks_scanned, result.stats.blocks_scanned);
-  STORSIM_OBS_COUNTER(c_blocks_pruned, "store.query.blocks_pruned",
-                      ::storsubsim::obs::Stability::kDeterministic);
-  STORSIM_OBS_ADD(c_blocks_pruned, result.stats.blocks_pruned);
+}
+
+}  // namespace
+
+QueryResult run_query(const EventStore& store, const Query& query) {
+  obs::Span span("store.query");
+  QueryResult result;
+  QueryAccumulators acc;
+  scan_store(store, query, acc, result.stats);
+  emit_groups(store.exposure(), query, acc, result);
+  emit_query_counters(result.stats);
   return result;
+}
+
+Error run_query(ShardStore& store, const Query& query, QueryResult* result) {
+  obs::Span span("store.query_shards");
+  QueryResult out;
+  QueryAccumulators acc;
+  // One shard at a time: lazy open (mmap + validation on first touch), then
+  // the identical block-pruned scan. Counts are integers, so shard order
+  // cannot affect the totals.
+  for (std::size_t i = 0; i < store.shard_count(); ++i) {
+    if (Error err = store.ensure_open(i); !err.ok()) return err;
+    scan_store(store.shard(i), query, acc, out.stats);
+  }
+  emit_groups(store.manifest().exposure, query, acc, out);
+  emit_query_counters(out.stats);
+  *result = std::move(out);
+  return Error{};
 }
 
 }  // namespace storsubsim::store

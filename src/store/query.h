@@ -20,6 +20,7 @@
 
 #include "model/enums.h"
 #include "store/reader.h"
+#include "store/shards.h"
 
 namespace storsubsim::store {
 
@@ -63,5 +64,14 @@ struct QueryResult {
 };
 
 QueryResult run_query(const EventStore& store, const Query& query);
+
+/// The same query over a shard directory. Shards are opened lazily, one at
+/// a time, and scanned with the same block-pruned loop; the per-group
+/// counts are integer sums over shards (exact regardless of order) and the
+/// rates come from the MANIFEST's merged exposure table, so the result is
+/// byte-identical to running the query against the equivalent single-file
+/// store. Non-const because shards may need to be opened; a shard that
+/// fails validation on first touch surfaces as the returned Error.
+Error run_query(ShardStore& store, const Query& query, QueryResult* result);
 
 }  // namespace storsubsim::store

@@ -1,0 +1,32 @@
+#include "util/rss.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace storsubsim::util {
+
+std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    // "VmHWM:     123456 kB" — the peak resident set size.
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    const char* p = line + 6;
+    while (*p == ' ' || *p == '\t') ++p;
+    while (*p >= '0' && *p <= '9') {
+      kib = kib * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++p;
+    }
+    break;
+  }
+  std::fclose(f);
+  return kib * 1024;
+#else
+  return 0;  // not exposed on this platform
+#endif
+}
+
+}  // namespace storsubsim::util

@@ -1,0 +1,19 @@
+// Process peak-RSS probe.
+//
+// The sharded build path (docs/STORE.md) promises bounded peak memory; this
+// reads the number that proves it. Linux exposes the high-water mark as
+// VmHWM in /proc/self/status; elsewhere the probe degrades gracefully to 0
+// ("unknown") rather than guessing, so callers record it unconditionally and
+// consumers treat 0 as "not measured on this platform".
+#pragma once
+
+#include <cstdint>
+
+namespace storsubsim::util {
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 when the
+/// platform does not expose it. Monotone non-decreasing over a process
+/// lifetime — read it after the phase you want to bound.
+std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace storsubsim::util

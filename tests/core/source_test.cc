@@ -209,6 +209,7 @@ TEST_F(SourceEquivalence, SourceAccessorsReportBackend) {
   EXPECT_EQ(from_store.store(), &event_store());
 
   const int visited = from_store.visit([](const core::Dataset&) { return 1; },
-                                       [](const store::EventStore&) { return 2; });
+                                       [](const store::EventStore&) { return 2; },
+                                       [](const store::ShardStore&) { return 3; });
   EXPECT_EQ(visited, 2);
 }

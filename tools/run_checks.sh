@@ -4,7 +4,7 @@
 #   tools/run_checks.sh [extra ctest args...]
 #
 #   1. configure + build the default preset
-#   2. ctest (396 unit/integration tests + the storsim_lint fixture suite
+#   2. ctest (525 unit/integration tests + the storsim_lint fixture suite
 #      + the StorsimLint.TreeIsClean gate)
 #   3. storsim_lint --check over src/ bench/ tests/ (redundant with the ctest
 #      gate, but run standalone so its report is printed even when ctest is
@@ -22,7 +22,11 @@
 #      obs stack on must cost <2% wall time on the scale-1.0 log pipeline
 #      (paired min-of-N runs on this machine; the committed BENCH_pipeline.json
 #      numbers are the cross-machine reference)
-#   7. clang-tidy over src/ when available (the container may not ship it;
+#   7. sharded store gate (docs/STORE.md): a full-scale `store build
+#      --max-rss-mb 256` must fit the budget the monolithic writer exceeds
+#      (~630 MiB on this fleet), and `analyze --input <shard-dir>` must print
+#      byte-identical reports to the single-file store from step 5
+#   8. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
@@ -30,21 +34,21 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/7] configure + build =="
+echo "== [1/8] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/7] ctest =="
+echo "== [2/8] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/7] storsim_lint =="
+echo "== [3/8] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 
-echo "== [4/7] pipeline_throughput smoke =="
+echo "== [4/8] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
   --out=build/BENCH_pipeline_smoke.json
 
-echo "== [5/7] store round-trip (full scale) + corruption smoke =="
+echo "== [5/8] store round-trip (full scale) + corruption smoke =="
 ./build/bench/store_bench --scale=1.0 --repeat=1 \
   --store=build/BENCH_checks.store --out=build/BENCH_store_checks.json
 # Corrupt stores must be rejected, never crash: truncate one copy, flip a
@@ -61,7 +65,7 @@ for broken in build/BENCH_checks_truncated.store build/BENCH_checks_flipped.stor
 done
 echo "corrupted stores rejected with typed errors"
 
-echo "== [6/7] observability: byte identity + manifest + overhead =="
+echo "== [6/8] observability: byte identity + manifest + overhead =="
 # Byte identity at full scale: the store built in step 5 feeds the same
 # analyze invocation with the obs stack off and fully on. --input also
 # exercises the STORCOL1 magic sniffing path.
@@ -118,7 +122,45 @@ else
   echo "python3 unavailable; skipping the <2% overhead comparison"
 fi
 
-echo "== [7/7] clang-tidy =="
+echo "== [7/8] sharded store: bounded-memory build + merged-answer identity =="
+# Full-scale sharded build under a budget the monolithic writer exceeds
+# (step 5's single-file build peaks around 630 MiB on this fleet). The build
+# records its own peak RSS in the directory's build.manifest.json.
+./build/tools/storsubsim store build --out build/BENCH_checks.shards \
+  --scale 1.0 --max-rss-mb 256
+# The merged answers must be byte-identical to the single-file store from
+# step 5 (same seed/scale), across both the aggregate and dataset paths.
+for report in afr burstiness correlation; do
+  ./build/tools/storsubsim analyze --input build/BENCH_checks.store \
+    --report "$report" > "build/CHECK_shards_mono_$report.txt"
+  ./build/tools/storsubsim analyze --input build/BENCH_checks.shards \
+    --report "$report" > "build/CHECK_shards_dir_$report.txt"
+  cmp "build/CHECK_shards_mono_$report.txt" "build/CHECK_shards_dir_$report.txt"
+done
+echo "sharded analyze byte-identical to the single-file store (afr, burstiness, correlation)"
+# RSS-budget gate: the sharded build must honour --max-rss-mb, and must use
+# far less memory than the monolithic path (recorded by step 5's bench).
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'PYEOF'
+import json
+build = json.load(open("build/BENCH_checks.shards/build.manifest.json"))
+sharded_peak = build["numbers"]["peak_rss_bytes"]
+shards = int(build["numbers"]["shards"])
+mono = json.load(open("build/BENCH_store_checks.json"))
+mono_peak = mono["peak_rss_bytes"]
+budget = 256 * 1024 * 1024
+print("sharded build: %d shards, peak RSS %.0f MiB (budget 256 MiB); "
+      "monolithic pipeline peaked at %.0f MiB"
+      % (shards, sharded_peak / 2**20, mono_peak / 2**20))
+assert shards > 1, "budget did not force a multi-shard build"
+assert sharded_peak <= budget, "sharded build exceeded --max-rss-mb"
+assert sharded_peak < mono_peak / 2, "sharded build saved too little memory"
+PYEOF
+else
+  echo "python3 unavailable; skipping the RSS-budget assertion"
+fi
+
+echo "== [8/8] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.

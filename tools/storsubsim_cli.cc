@@ -20,11 +20,13 @@
 //
 // `analyze`, `inspect` and `predict` know nothing about the simulator's internals —
 // they parse whatever log/snapshot files you give them, so logs produced by
-// other tools (or hand-edited scenarios) work as well. `analyze --input FILE`
-// sniffs the file: a columnar store (STORCOL1 magic) is mapped and the reports
-// come straight off the column spans (see docs/STORE.md); anything else is
-// treated as a text log and needs `--snapshot`. The older `--logs`/`--store`
-// spellings remain as aliases and produce byte-identical output.
+// other tools (or hand-edited scenarios) work as well. `analyze --input PATH`
+// sniffs the path: a columnar store (STORCOL1 magic) is mapped and the reports
+// come straight off the column spans, a shard directory (STORSHARD1 MANIFEST,
+// produced by `store build --shards`) is analyzed shard by shard with
+// byte-identical results (see docs/STORE.md); anything else is treated as a
+// text log and needs `--snapshot`. The older `--logs`/`--store` spellings
+// remain as aliases and produce byte-identical output.
 //
 // Observability (docs/OBSERVABILITY.md): every command accepts
 //   --metrics          print the metric snapshot to stderr on success
@@ -48,6 +50,7 @@
 #include "core/prediction.h"
 #include "core/raid_vulnerability.h"
 #include "core/report.h"
+#include "core/sharded_build.h"
 #include "core/source.h"
 #include "core/store_bridge.h"
 #include "log/classifier.h"
@@ -61,7 +64,9 @@
 #include "sim/scenario.h"
 #include "store/format.h"
 #include "store/query.h"
+#include "store/shards.h"
 #include "util/parallel.h"
+#include "util/rss.h"
 
 using namespace storsubsim;
 
@@ -117,9 +122,10 @@ int usage() {
   storsubsim inspect  --snapshot FILE [--csv]
   storsubsim predict  --logs FILE --snapshot FILE [--threshold K] [--window-days W] [--horizon-days H]
   storsubsim store build --out FILE ([--scale S] [--seed N] | --logs FILE --snapshot FILE)
-  storsubsim store query --store FILE [--type TYPE] [--class CLASS] [--family F]
+  storsubsim store build --out DIR --shards N [--max-rss-mb M] [--scale S] [--seed N]
+  storsubsim store query --store FILE|DIR [--type TYPE] [--class CLASS] [--family F]
                       [--from-days D] [--to-days D] [--group-by class|type|family] [--csv]
-  storsubsim store stats --store FILE [--csv]
+  storsubsim store stats --store FILE|DIR [--csv]
 observability (any command): [--metrics] [--trace FILE] [--manifest FILE]
 )";
   return 2;
@@ -134,6 +140,27 @@ bool is_store_file(const std::string& path) {
   in.read(head.data(), static_cast<std::streamsize>(head.size()));
   return in.gcount() == static_cast<std::streamsize>(head.size()) &&
          std::equal(head.begin(), head.end(), store::kMagic.begin());
+}
+
+/// True when `path` is a shard directory (contains a MANIFEST starting with
+/// the STORSHARD1 magic). Analyses over it are byte-identical to the
+/// equivalent single-file store.
+bool is_shard_dir(const std::string& path) {
+  std::ifstream in(path + "/" + std::string(store::kManifestFileName), std::ios::binary);
+  if (!in) return false;
+  std::string head(store::kManifestMagic.size(), '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  return in.gcount() == static_cast<std::streamsize>(head.size()) &&
+         head == store::kManifestMagic;
+}
+
+bool open_shards(const std::string& dir, store::ShardStore& out) {
+  const auto err = out.open(dir);
+  if (!err.ok()) {
+    std::cerr << "cannot open shard directory " << dir << ": " << err.describe() << "\n";
+    return false;
+  }
+  return true;
 }
 
 int cmd_simulate(const Args& args) {
@@ -258,13 +285,32 @@ int cmd_analyze(const Args& args) {
       std::cerr << "--input replaces --logs/--store; pass only one spelling\n";
       return usage();
     }
-    if (is_store_file(input)) {
+    if (is_shard_dir(input) || is_store_file(input)) {
       store_path = input;
     } else {
       log_path = input;
     }
   }
+  // A shard directory routes through the ShardStore backend; analyses over
+  // it are byte-identical to the equivalent single-file store.
+  std::string shard_dir;
+  if (!store_path.empty() && is_shard_dir(store_path)) {
+    shard_dir = store_path;
+    store_path.clear();
+  }
+  const bool have_shards = !shard_dir.empty();
   const bool have_store = !store_path.empty();
+  store::ShardStore shard_store;
+  if (have_shards) {
+    if (!open_shards(shard_dir, shard_store)) return 1;
+    // analyze touches every shard; open them all now so a corrupt shard
+    // surfaces as a typed error instead of a mid-analysis exception.
+    if (const auto err = shard_store.open_all(); !err.ok()) {
+      std::cerr << "cannot open shard directory " << shard_dir << ": " << err.describe()
+                << "\n";
+      return 1;
+    }
+  }
   store::EventStore event_store;
   if (have_store && !open_store(store_path, event_store)) return 1;
   const std::string report = args.get("report", "afr");
@@ -272,18 +318,22 @@ int cmd_analyze(const Args& args) {
   // The store fast paths serve the whole-fleet cohort straight off the mapped
   // columns; a filtered cohort (or a report that joins per-event inventory)
   // goes through the reconstructed Dataset instead — same results either way.
-  const bool needs_dataset = !have_store || wants_filter(args) || report == "events" ||
-                             report == "vulnerability";
+  const bool needs_dataset = (!have_store && !have_shards) || wants_filter(args) ||
+                             report == "events" || report == "vulnerability";
   std::optional<core::Dataset> dataset;
   if (needs_dataset) {
-    dataset = have_store ? apply_cli_filter(core::dataset_from_store(event_store), args)
-                         : load_dataset(args, nullptr, log_path);
+    dataset = have_shards
+                  ? apply_cli_filter(core::dataset_from_shards(shard_store), args)
+                  : (have_store
+                         ? apply_cli_filter(core::dataset_from_store(event_store), args)
+                         : load_dataset(args, nullptr, log_path));
     if (!dataset) return usage();
   }
   // One polymorphic handle for the analysis calls below: the filtered Dataset
-  // when one was built, the mapped store otherwise.
-  const core::Source source =
-      dataset ? core::Source(*dataset) : core::Source(event_store);
+  // when one was built, the mapped store(s) otherwise.
+  const core::Source source = dataset      ? core::Source(*dataset)
+                              : have_shards ? core::Source(shard_store)
+                                            : core::Source(event_store);
 
   if (report == "afr") {
     core::TextTable table({"class", "disk", "interconnect", "protocol", "performance",
@@ -464,9 +514,64 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+/// `store build --shards N [--max-rss-mb M]`: the streaming sharded build.
+/// Simulates the fleet in bounded chunks and writes a shard directory whose
+/// analyses are byte-identical to the monolithic store (docs/STORE.md).
+int cmd_store_build_sharded(const Args& args, const std::string& out) {
+  const auto seed = static_cast<std::uint64_t>(args.get_double("seed", 20080226));
+  const double scale = args.get_double("scale", 0.1);
+
+  core::ShardedBuildOptions options;
+  options.shards = static_cast<std::size_t>(args.get_double("shards", 0.0));
+  options.max_rss_mb = static_cast<std::uint64_t>(args.get_double("max-rss-mb", 0.0));
+  if (options.shards == 0 && options.max_rss_mb == 0) {
+    std::cerr << "sharded build needs --shards N and/or --max-rss-mb M\n";
+    return usage();
+  }
+
+  auto config = model::standard_fleet_config(scale, seed);
+  std::cerr << "building sharded store at scale " << scale << " (seed " << seed << ")";
+  if (options.max_rss_mb > 0) std::cerr << " under " << options.max_rss_mb << " MiB";
+  std::cerr << "...\n";
+
+  core::ShardedBuildResult result;
+  const auto err = core::build_sharded_store(out, config, options, &result);
+  if (!err.ok()) {
+    std::cerr << "cannot build sharded store " << out << ": " << err.describe() << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << result.events << "-event store (" << result.disk_records
+            << " disk records) as " << result.shards << " shards to " << out << "\n";
+  if (result.peak_rss_bytes > 0) {
+    std::cerr << "peak RSS " << result.peak_rss_bytes / (1024 * 1024) << " MiB\n";
+  }
+
+  obs::RunManifest manifest;
+  manifest.tool = "storsubsim store build";
+  manifest.seed = seed;
+  manifest.scale = scale;
+  manifest.threads = util::thread_count();
+  manifest.info.emplace_back("out", out);
+  manifest.info.emplace_back("source", "simulate-sharded");
+  manifest.numbers.emplace_back("events", static_cast<double>(result.events));
+  manifest.numbers.emplace_back("disk_records", static_cast<double>(result.disk_records));
+  manifest.numbers.emplace_back("shards", static_cast<double>(result.shards));
+  manifest.numbers.emplace_back("peak_rss_bytes",
+                                static_cast<double>(result.peak_rss_bytes));
+  const std::string manifest_path = out + "/build.manifest.json";
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    std::cerr << "cannot write manifest " << manifest_path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_store_build(const Args& args) {
   const std::string out = args.get("out");
   if (out.empty()) return usage();
+  if (args.options.contains("shards") || args.options.contains("max-rss-mb")) {
+    return cmd_store_build_sharded(args, out);
+  }
   const std::string log_path = args.get("logs");
   const std::string snap_path = args.get("snapshot");
   const bool from_logs = !log_path.empty() && !snap_path.empty();
@@ -534,6 +639,8 @@ int cmd_store_build(const Args& args) {
                                 static_cast<double>(run->dataset.events().size()));
   manifest.numbers.emplace_back(
       "disk_records", static_cast<double>(run->dataset.inventory().disks.size()));
+  manifest.numbers.emplace_back("peak_rss_bytes",
+                                static_cast<double>(util::peak_rss_bytes()));
   const std::string manifest_path = out + ".manifest.json";
   if (!obs::write_manifest(manifest_path, manifest)) {
     std::cerr << "cannot write manifest " << manifest_path << "\n";
@@ -545,8 +652,14 @@ int cmd_store_build(const Args& args) {
 int cmd_store_query(const Args& args) {
   const std::string path = args.get("store");
   if (path.empty()) return usage();
+  const bool sharded = is_shard_dir(path);
+  store::ShardStore shards;
   store::EventStore es;
-  if (!open_store(path, es)) return 1;
+  if (sharded) {
+    if (!open_shards(path, shards)) return 1;
+  } else if (!open_store(path, es)) {
+    return 1;
+  }
 
   store::Query query;
   const std::string type = args.get("type");
@@ -593,7 +706,15 @@ int cmd_store_query(const Args& args) {
     return 1;
   }
 
-  const auto result = store::run_query(es, query);
+  store::QueryResult result;
+  if (sharded) {
+    if (const auto err = store::run_query(shards, query, &result); !err.ok()) {
+      std::cerr << "query over " << path << " failed: " << err.describe() << "\n";
+      return 1;
+    }
+  } else {
+    result = store::run_query(es, query);
+  }
   core::TextTable table({"group", "disk", "interconnect", "protocol", "performance",
                          "events", "disk-years", "AFR %"});
   for (const auto& g : result.groups) {
@@ -611,9 +732,51 @@ int cmd_store_query(const Args& args) {
   return 0;
 }
 
+/// `store stats` over a shard directory: MANIFEST summary plus one row per
+/// shard, without fully opening any shard.
+int cmd_store_stats_sharded(const Args& args, const std::string& path) {
+  store::ShardStore shards;
+  if (!open_shards(path, shards)) return 1;
+  const auto& m = shards.manifest();
+
+  core::TextTable header({"field", "value"});
+  header.add_row({"manifest version", std::to_string(m.version)});
+  header.add_row({"shards", std::to_string(shards.shard_count())});
+  header.add_row({"seed", std::to_string(m.seed)});
+  header.add_row({"scale", core::fmt(m.scale, 3)});
+  header.add_row({"horizon (days)", core::fmt(m.horizon_seconds / model::kSecondsPerDay, 1)});
+  header.add_row({"events", std::to_string(m.events)});
+  header.add_row({"systems", std::to_string(m.systems)});
+  header.add_row({"shelves", std::to_string(m.shelves)});
+  header.add_row({"disk records", std::to_string(m.disks_total)});
+  header.add_row({"RAID groups", std::to_string(m.raid_groups)});
+  header.add_row({"disk-years", core::fmt(m.exposure.total_disk_years, 0)});
+  header.add_row({"log lines written", std::to_string(m.meta.log_lines_written)});
+  header.add_row({"log lines parsed", std::to_string(m.meta.log_lines_parsed)});
+  header.add_row({"failures classified", std::to_string(m.meta.failures_classified)});
+  header.add_row({"duplicates dropped", std::to_string(m.meta.duplicates_dropped)});
+  if (m.peak_rss_bytes > 0) {
+    header.add_row({"build peak RSS (MiB)", std::to_string(m.peak_rss_bytes / (1024 * 1024))});
+  }
+  print(header, args);
+
+  core::TextTable per_shard(
+      {"shard", "systems", "sys range", "disk records", "events", "bytes"});
+  for (std::size_t i = 0; i < shards.shard_count(); ++i) {
+    const auto& info = shards.info(i);
+    per_shard.add_row({info.file, std::to_string(info.systems),
+                       std::to_string(info.sys_begin) + ".." + std::to_string(info.sys_end),
+                       std::to_string(info.disks_total), std::to_string(info.events),
+                       std::to_string(info.file_size)});
+  }
+  print(per_shard, args);
+  return 0;
+}
+
 int cmd_store_stats(const Args& args) {
   const std::string path = args.get("store");
   if (path.empty()) return usage();
+  if (is_shard_dir(path)) return cmd_store_stats_sharded(args, path);
   store::EventStore es;
   if (!open_store(path, es)) return 1;
   const auto& h = es.header();
@@ -700,6 +863,10 @@ int main(int argc, char** argv) {
       const std::string value = args.get(key);
       if (!value.empty()) manifest.info.emplace_back(key, value);
     }
+    // Peak RSS of the whole run (VmHWM; 0 where the platform hides it), so
+    // every manifest records the memory footprint alongside the timings.
+    manifest.numbers.emplace_back("peak_rss_bytes",
+                                  static_cast<double>(util::peak_rss_bytes()));
     if (!obs::write_manifest(manifest_path, manifest)) {
       std::cerr << "cannot write manifest " << manifest_path << "\n";
       return 1;
