@@ -67,7 +67,7 @@ inline constexpr std::uint64_t estimate_build_bytes(std::uint64_t chunk_disks,
 /// error encountered; on success the directory opens with
 /// store::ShardStore::open and analyses over it are byte-identical to the
 /// monolithic store of the same config/seed.
-store::Error build_sharded_store(const std::string& dir, const model::FleetConfig& config,
+[[nodiscard]] store::Error build_sharded_store(const std::string& dir, const model::FleetConfig& config,
                                  const ShardedBuildOptions& options,
                                  ShardedBuildResult* result = nullptr);
 

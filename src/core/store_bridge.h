@@ -30,7 +30,7 @@ PipelineStats pipeline_stats_from_meta(const store::StoreMeta& meta);
 
 /// Serializes a completed run to `path`. `seed`/`scale` are provenance
 /// recorded in the header (the dataset does not know them).
-store::Error write_store(const std::string& path, const SimulationDataset& run,
+[[nodiscard]] store::Error write_store(const std::string& path, const SimulationDataset& run,
                          std::uint64_t seed, double scale);
 
 /// Rebuilds the exact in-memory Dataset from an opened store: events arrive

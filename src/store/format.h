@@ -114,7 +114,7 @@ struct Error {
   std::string describe() const;
 };
 
-Error make_error(ErrorCode code, std::string_view detail, std::uint64_t offset = 0);
+[[nodiscard]] Error make_error(ErrorCode code, std::string_view detail, std::uint64_t offset = 0);
 
 // --- CRC32 (IEEE 802.3, polynomial 0xEDB88320) ------------------------------
 
@@ -213,6 +213,6 @@ void append_header(std::string& out, const Header& header);
 
 /// Parses and validates a header from `data` (>= kHeaderSize bytes must be
 /// readable; the caller checks the file length first).
-Error parse_header(const char* data, std::size_t size, Header* out);
+[[nodiscard]] Error parse_header(const char* data, std::size_t size, Header* out);
 
 }  // namespace storsubsim::store

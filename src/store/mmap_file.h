@@ -27,7 +27,7 @@ class MmapFile {
 
   /// Maps (or reads) `path`. On failure returns a kIo error and leaves the
   /// object empty.
-  Error open(const std::string& path);
+  [[nodiscard]] Error open(const std::string& path);
 
   const char* data() const noexcept { return data_; }
   std::size_t size() const noexcept { return size_; }

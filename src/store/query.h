@@ -72,6 +72,6 @@ QueryResult run_query(const EventStore& store, const Query& query);
 /// byte-identical to running the query against the equivalent single-file
 /// store. Non-const because shards may need to be opened; a shard that
 /// fails validation on first touch surfaces as the returned Error.
-Error run_query(ShardStore& store, const Query& query, QueryResult* result);
+[[nodiscard]] Error run_query(ShardStore& store, const Query& query, QueryResult* result);
 
 }  // namespace storsubsim::store

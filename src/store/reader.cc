@@ -76,7 +76,7 @@ constexpr ColumnId kEventColumns[] = {
     ColumnId::kEventRaidGroup,
 };
 
-Error column_error(ErrorCode code, std::string_view what, ColumnId id,
+[[nodiscard]] Error column_error(ErrorCode code, std::string_view what, ColumnId id,
                    std::uint64_t offset = 0) {
   std::string detail(what);
   detail.append(" (column ").append(column_name(id)).append(")");

@@ -100,10 +100,10 @@ class EventStore {
   EventStore& operator=(EventStore&&) = delete;
 
   /// Maps and fully validates a store file.
-  Error open(const std::string& path);
+  [[nodiscard]] Error open(const std::string& path);
 
   /// Validates an in-memory image (tests, fuzzing); takes ownership.
-  Error open_image(std::string image);
+  [[nodiscard]] Error open_image(std::string image);
 
   const Header& header() const noexcept { return header_; }
   const StoreMeta& meta() const noexcept { return meta_; }
@@ -133,7 +133,7 @@ class EventStore {
   log::Inventory rebuild_inventory() const;
 
  private:
-  Error load();
+  [[nodiscard]] Error load();
 
   MmapFile file_;
   std::string owned_image_;             ///< backing bytes for open_image

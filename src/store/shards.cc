@@ -123,14 +123,14 @@ bool parse_hex_f64(std::string_view tok, double* v) {
   return true;
 }
 
-Error manifest_error(std::string_view detail, std::uint64_t offset = 0) {
+[[nodiscard]] Error manifest_error(std::string_view detail, std::uint64_t offset = 0) {
   std::string msg("MANIFEST: ");
   msg.append(detail);
   return make_error(ErrorCode::kBadHeader, msg, offset);
 }
 
 /// Reads one "key value..." line and hands back the value part.
-Error expect_line(LineCursor& cursor, std::string_view key, std::string_view* rest) {
+[[nodiscard]] Error expect_line(LineCursor& cursor, std::string_view key, std::string_view* rest) {
   const std::uint64_t at = cursor.offset();
   std::string_view line;
   if (!cursor.next(&line)) {
@@ -149,7 +149,7 @@ Error expect_line(LineCursor& cursor, std::string_view key, std::string_view* re
   return Error{};
 }
 
-Error expect_u64(LineCursor& cursor, std::string_view key, std::uint64_t* v) {
+[[nodiscard]] Error expect_u64(LineCursor& cursor, std::string_view key, std::uint64_t* v) {
   std::string_view rest;
   if (Error err = expect_line(cursor, key, &rest); !err.ok()) return err;
   std::string_view tok;
@@ -161,7 +161,7 @@ Error expect_u64(LineCursor& cursor, std::string_view key, std::uint64_t* v) {
   return Error{};
 }
 
-Error expect_hex_f64(LineCursor& cursor, std::string_view key, double* v) {
+[[nodiscard]] Error expect_hex_f64(LineCursor& cursor, std::string_view key, double* v) {
   std::string_view rest;
   if (Error err = expect_line(cursor, key, &rest); !err.ok()) return err;
   std::string_view tok;
@@ -175,7 +175,7 @@ Error expect_hex_f64(LineCursor& cursor, std::string_view key, double* v) {
 
 // --- small file helpers ------------------------------------------------------
 
-Error read_file(const std::string& path, std::string* out) {
+[[nodiscard]] Error read_file(const std::string& path, std::string* out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return make_error(ErrorCode::kIo, std::string("cannot open ").append(path));
@@ -198,7 +198,7 @@ Error read_file(const std::string& path, std::string* out) {
 
 /// File size + CRC32 of the first kHeaderSize bytes (returned in `head`),
 /// without mapping or reading the rest of the file.
-Error probe_shard_file(const std::string& path, std::uint64_t* size,
+[[nodiscard]] Error probe_shard_file(const std::string& path, std::uint64_t* size,
                        std::uint32_t* header_crc,
                        std::array<char, kHeaderSize>* head = nullptr) {
   std::FILE* f = std::fopen(path.c_str(), "rb");

@@ -88,10 +88,10 @@ std::string render_manifest(const ShardManifest& manifest);
 
 /// Parses and CRC-checks a MANIFEST image, deriving the per-shard bases.
 /// Truncated, reordered or corrupted input yields a typed Error.
-Error parse_manifest(std::string_view text, ShardManifest* out);
+[[nodiscard]] Error parse_manifest(std::string_view text, ShardManifest* out);
 
 /// Writes dir/MANIFEST (render_manifest + one-shot write).
-Error write_manifest_file(const std::string& dir, const ShardManifest& manifest);
+[[nodiscard]] Error write_manifest_file(const std::string& dir, const ShardManifest& manifest);
 
 /// Sequentially opens each shard (full STORCOL1 validation, one shard in
 /// memory at a time) and accumulates the merged exposure table and summed
@@ -101,7 +101,7 @@ Error write_manifest_file(const std::string& dir, const ShardManifest& manifest)
 /// each cohort's FP addition sequence equals the monolithic writer's
 /// per-cohort sweep and the merged table is bit-identical to a single-file
 /// store of the whole fleet. Fills each shard's file_size/header_crc too.
-Error merge_shard_tables(const std::string& dir, std::vector<ShardInfo>* shards,
+[[nodiscard]] Error merge_shard_tables(const std::string& dir, std::vector<ShardInfo>* shards,
                          double horizon_seconds, ExposureTable* exposure,
                          StoreMeta* meta);
 
@@ -122,11 +122,11 @@ class ShardStore {
 
   /// Reads dir/MANIFEST and cross-checks the shard files. No shard is fully
   /// opened yet.
-  Error open(const std::string& dir);
+  [[nodiscard]] Error open(const std::string& dir);
 
   /// Opens and fully validates every shard now (analysis paths that will
   /// touch all shards anyway).
-  Error open_all() const;
+  [[nodiscard]] Error open_all() const;
 
   const std::string& directory() const noexcept { return dir_; }
   const ShardManifest& manifest() const noexcept { return manifest_; }
@@ -135,7 +135,7 @@ class ShardStore {
 
   /// Fully opens shard i if it is not open yet. Const because lazy opening
   /// is a caching concern: the observable directory contents never change.
-  Error ensure_open(std::size_t i) const;
+  [[nodiscard]] Error ensure_open(std::size_t i) const;
   bool is_open(std::size_t i) const noexcept { return shards_[i] != nullptr; }
   /// Requires a successful ensure_open(i) / open_all().
   const EventStore& shard(std::size_t i) const noexcept { return *shards_[i]; }

@@ -62,9 +62,9 @@ struct StoreContents {
 
 /// Builds the complete file image in memory. Deterministic: byte-identical
 /// across thread counts and rebuilds from the same inputs.
-Error build_store_image(const StoreContents& contents, std::string* image);
+[[nodiscard]] Error build_store_image(const StoreContents& contents, std::string* image);
 
 /// build_store_image + atomic-ish write (whole image in one stream).
-Error write_store_file(const std::string& path, const StoreContents& contents);
+[[nodiscard]] Error write_store_file(const std::string& path, const StoreContents& contents);
 
 }  // namespace storsubsim::store

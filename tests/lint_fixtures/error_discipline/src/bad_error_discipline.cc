@@ -1,0 +1,13 @@
+// Fixture: error-discipline violations — an Error API with no [[nodiscard]]
+// anywhere, and three silently discarded results ((void) is not the
+// sanctioned opt-out; allow(error-discipline) is). Four findings.
+#include "result.h"
+
+// finding: returns an error type, no declaration is [[nodiscard]]
+Error unchecked_parse(int value) { return Error{value}; }
+
+void drive_bad() {
+  checked_parse(1);        // finding: result discarded
+  (void)checked_parse(2);  // finding: (void)-cast is still a discard
+  unchecked_parse(3);      // finding: result discarded
+}

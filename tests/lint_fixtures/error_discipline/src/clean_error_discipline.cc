@@ -1,0 +1,12 @@
+// Fixture: the definition inherits its [[nodiscard]] status from the
+// declaration in result.h (the table is keyed across the whole tree), and
+// every Error result is consumed. Zero findings.
+#include "result.h"
+
+Error checked_parse(int value) { return Error{value}; }
+
+int drive_clean() {
+  const Error e = checked_parse(7);
+  if (!e.ok()) return e.code;
+  return 0;
+}

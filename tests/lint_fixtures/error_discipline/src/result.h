@@ -1,0 +1,11 @@
+// Fixture: an Error-returning API surface. The [[nodiscard]] on this
+// declaration must satisfy out-of-line definitions in other TUs — that is
+// the cross-TU half of the error-discipline rule. Zero findings.
+#pragma once
+
+struct Error {
+  int code = 0;
+  bool ok() const { return code == 0; }
+};
+
+[[nodiscard]] Error checked_parse(int value);

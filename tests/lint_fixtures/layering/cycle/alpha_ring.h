@@ -1,0 +1,7 @@
+// Fixture: first header of a three-header include ring; the layering pass
+// must report the full cycle alpha -> beta -> gamma -> alpha.
+#pragma once
+
+#include "beta_ring.h"
+
+inline int alpha_ring() { return beta_ring() + 1; }

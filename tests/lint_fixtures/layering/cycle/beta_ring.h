@@ -1,0 +1,6 @@
+// Fixture: middle header of the include ring.
+#pragma once
+
+#include "gamma_ring.h"
+
+inline int beta_ring() { return gamma_ring() + 1; }

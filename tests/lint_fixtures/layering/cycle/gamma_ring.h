@@ -1,0 +1,7 @@
+// Fixture: last header of the include ring; its include of alpha_ring.h is
+// the back edge the cycle detector reports.
+#pragma once
+
+#include "alpha_ring.h"
+
+inline int gamma_ring() { return 3; }

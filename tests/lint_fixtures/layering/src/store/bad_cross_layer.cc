@@ -1,0 +1,7 @@
+// Fixture: a store-layer file reaching UP the DAG into sim and core.
+// store's closure is {log, model, obs, stats, util} — two findings.
+#include "core/pipeline.h"
+#include "sim/engine.h"
+#include "util/parallel.h"
+
+int store_layer_probe() { return 0; }

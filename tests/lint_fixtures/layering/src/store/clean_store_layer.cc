@@ -1,0 +1,6 @@
+// Fixture: store-layer includes that stay within the declared transitive
+// closure (direct: log, util; see docs/static-analysis.md). Zero findings.
+#include "log/record.h"
+#include "util/parallel.h"
+
+int store_layer_clean_probe() { return 0; }

@@ -1,0 +1,23 @@
+// Fixture: lock-discipline violations — bare .lock()/.unlock() calls (leak
+// the mutex on any early return or exception) and a second guard on a mutex
+// already held in the enclosing scope (self-deadlock). Three findings.
+#include <mutex>
+
+struct BadLocking {
+  std::mutex mu_;
+  int value_ = 0;
+
+  void bare_pair() {
+    mu_.lock();  // finding: bare .lock()
+    ++value_;
+    mu_.unlock();  // finding: bare .unlock()
+  }
+
+  void relock() {
+    std::lock_guard<std::mutex> outer(mu_);
+    {
+      std::lock_guard<std::mutex> inner(mu_);  // finding: mu_ already held
+      ++value_;
+    }
+  }
+};

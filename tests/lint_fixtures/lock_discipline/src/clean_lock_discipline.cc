@@ -1,0 +1,31 @@
+// Fixture: RAII-only locking. Sequential sibling scopes re-acquire legally
+// (the first guard died), and one guard over two distinct mutexes is fine.
+// Zero findings.
+#include <mutex>
+
+struct CleanLocking {
+  std::mutex mu_;
+  std::mutex flush_mu_;
+  int value_ = 0;
+
+  void guarded() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++value_;
+  }
+
+  void sequential_scopes() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++value_;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++value_;
+    }
+  }
+
+  void both_mutexes() {
+    std::scoped_lock lk(mu_, flush_mu_);
+    ++value_;
+  }
+};

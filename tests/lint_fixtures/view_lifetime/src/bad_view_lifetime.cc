@@ -1,0 +1,25 @@
+// Fixture: views escaping their owning buffers — every pattern the
+// view-lifetime rule rejects (docs/static-analysis.md). Four findings.
+#include <string>
+#include <string_view>
+
+struct NameCache {
+  std::string_view label_;
+  // finding: view member assigned from a by-value owning parameter
+  void remember(std::string label) { label_ = label; }
+};
+
+struct TagView {
+  std::string_view tag_;
+  // finding: constructor stores a view of a by-value owning parameter
+  explicit TagView(std::string tag) : tag_(tag) {}
+};
+
+// finding: returns a view of a local owning buffer
+std::string_view view_of_local() {
+  std::string buffer = "host0042";
+  return std::string_view(buffer);
+}
+
+// finding: returns a view of a by-value owning parameter
+std::string_view view_of_param(std::string owner) { return owner; }

@@ -1,0 +1,22 @@
+// Fixture: view-safe counterparts — the caller owns every buffer a view
+// points at, or the escaping value owns its bytes. Zero findings.
+#include <string>
+#include <string_view>
+#include <utility>
+
+struct CleanCache {
+  std::string owned_label_;
+  // Owning member: moving the by-value parameter in is the sanctioned fix.
+  void remember(std::string label) { owned_label_ = std::move(label); }
+};
+
+// A view of a caller-owned buffer may escape: the caller outlives the call.
+std::string_view view_of_caller(const std::string& backing) {
+  return std::string_view(backing);
+}
+
+// Returning the owning type itself is always fine.
+std::string owning_copy() {
+  std::string buffer = "host0042";
+  return buffer;
+}

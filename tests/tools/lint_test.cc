@@ -4,6 +4,7 @@
 #include <sys/wait.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -14,8 +15,11 @@
 #include <gtest/gtest.h>
 
 #include "lint/linter.h"
+#include "obs/json.h"
+#include "util/parallel.h"
 
 namespace lint = storsubsim::lint;
+namespace obs = storsubsim::obs;
 namespace fs = std::filesystem;
 
 namespace {
@@ -52,6 +56,49 @@ int run_cli(const std::string& args) {
   const int rc = std::system(cmd.c_str());
   EXPECT_TRUE(WIFEXITED(rc));
   return WEXITSTATUS(rc);
+}
+
+/// run_cli, but with stdout captured (stderr still dropped).
+int run_cli_capture(const std::string& args, std::string* out) {
+  const std::string cmd = std::string(STORSUBSIM_LINT_BIN) + " " + args + " 2> /dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) return -1;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) out->append(buf, n);
+  const int rc = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(rc));
+  return WEXITSTATUS(rc);
+}
+
+/// Loads fixtures into memory under their production display paths and runs
+/// the full two-phase engine (the phase-2 rules need the cross-TU index, so
+/// lint_source cannot drive them).
+lint::TreeReport lint_fixture_tree(const std::vector<std::string>& subpaths) {
+  std::vector<lint::MemoryFile> files;
+  for (const auto& s : subpaths) {
+    files.push_back(lint::MemoryFile{"tests/lint_fixtures/" + s, read_file(fixture_path(s))});
+  }
+  return lint::lint_tree_memory(files);
+}
+
+std::size_t count_rule(const lint::TreeReport& report, lint::Rule rule) {
+  std::size_t n = 0;
+  for (const auto& f : report.findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+bool any_finding_contains(const lint::TreeReport& report, const std::string& needle) {
+  for (const auto& f : report.findings) {
+    if (f.message.find(needle) != std::string::npos ||
+        f.excerpt.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // --- rule: nondeterminism ---------------------------------------------------
@@ -380,6 +427,269 @@ TEST(Cli, UsageErrorsExitTwo) {
   EXPECT_EQ(run_cli(""), 2);                                  // no paths
   EXPECT_EQ(run_cli("--no-such-flag src"), 2);                // unknown option
   EXPECT_EQ(run_cli("--check /no/such/path/exists.cc"), 2);   // bad path
+}
+
+// --- rule: view-lifetime ------------------------------------------------------
+
+TEST(ViewLifetimeRule, FlagsEveryEscapePattern) {
+  // Return of a local owner, return of a by-value owning parameter, a member
+  // store in a body, and a member store in a ctor-init: four findings.
+  const auto report = lint_fixture_tree({"view_lifetime/src/bad_view_lifetime.cc"});
+  EXPECT_EQ(count_rule(report, lint::Rule::kViewLifetime), 4u);
+  EXPECT_TRUE(any_finding_contains(report, "dies when the function returns"));
+  EXPECT_TRUE(any_finding_contains(report, "constructor stores a view"));
+}
+
+TEST(ViewLifetimeRule, CallerOwnedBuffersAndOwningEscapesAreClean) {
+  const auto report = lint_fixture_tree({"view_lifetime/src/clean_view_lifetime.cc"});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
+TEST(ViewLifetimeRule, ScopedToSrcOnly) {
+  const auto report = lint::lint_tree_memory(
+      {{"bench/view_probe.cc",
+        read_file(fixture_path("view_lifetime/src/bad_view_lifetime.cc"))}});
+  EXPECT_EQ(count_rule(report, lint::Rule::kViewLifetime), 0u);
+}
+
+// --- rule: error-discipline ---------------------------------------------------
+
+TEST(ErrorDisciplineRule, FlagsUnannotatedApisAndDiscardedResults) {
+  const auto report = lint_fixture_tree(
+      {"error_discipline/src/result.h", "error_discipline/src/bad_error_discipline.cc"});
+  EXPECT_EQ(count_rule(report, lint::Rule::kErrorDiscipline), 4u);
+  EXPECT_TRUE(any_finding_contains(report, "no declaration is [[nodiscard]]"));
+  EXPECT_TRUE(any_finding_contains(report, "is discarded"));
+}
+
+TEST(ErrorDisciplineRule, VoidCastIsStillADiscard) {
+  const auto report = lint_fixture_tree(
+      {"error_discipline/src/result.h", "error_discipline/src/bad_error_discipline.cc"});
+  EXPECT_TRUE(any_finding_contains(report, "(void)checked_parse(2);"));
+}
+
+TEST(ErrorDisciplineRule, NodiscardOnOneDeclarationCoversTheTree) {
+  // clean_error_discipline.cc defines checked_parse without the attribute;
+  // the [[nodiscard]] lives only on the declaration in result.h. The table
+  // is keyed across the whole scanned tree, so the pair must come up clean.
+  const auto report = lint_fixture_tree(
+      {"error_discipline/src/result.h", "error_discipline/src/clean_error_discipline.cc"});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
+// --- rule: layering -----------------------------------------------------------
+
+TEST(LayeringRule, FlagsIncludesOutsideTheDeclaredClosure) {
+  const auto report = lint_fixture_tree({"layering/src/store/bad_cross_layer.cc"});
+  EXPECT_EQ(count_rule(report, lint::Rule::kLayering), 2u);
+  EXPECT_TRUE(any_finding_contains(report, "breaks the layering DAG"));
+  EXPECT_FALSE(any_finding_contains(report, "util/parallel.h"))
+      << "util is inside store's closure and must not be flagged";
+}
+
+TEST(LayeringRule, ClosureIncludesAreClean) {
+  const auto report = lint_fixture_tree({"layering/src/store/clean_store_layer.cc"});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
+TEST(LayeringRule, ReportsTheFullThreeHeaderCycle) {
+  const auto report = lint_fixture_tree({"layering/cycle/alpha_ring.h",
+                                         "layering/cycle/beta_ring.h",
+                                         "layering/cycle/gamma_ring.h"});
+  ASSERT_EQ(report.findings.size(), 1u) << lint::render_json_report(report);
+  const auto& f = report.findings[0];
+  EXPECT_EQ(f.rule, lint::Rule::kLayering);
+  EXPECT_NE(f.message.find("include cycle:"), std::string::npos) << f.message;
+  for (const char* name : {"alpha_ring.h", "beta_ring.h", "gamma_ring.h"}) {
+    EXPECT_NE(f.message.find(name), std::string::npos) << "cycle omits " << name;
+  }
+}
+
+// --- rule: lock-discipline ----------------------------------------------------
+
+TEST(LockDisciplineRule, FlagsBareCallsAndDoubleLock) {
+  const auto report = lint_fixture_tree({"lock_discipline/src/bad_lock_discipline.cc"});
+  EXPECT_EQ(count_rule(report, lint::Rule::kLockDiscipline), 3u);
+  EXPECT_TRUE(any_finding_contains(report, "bare .lock()"));
+  EXPECT_TRUE(any_finding_contains(report, "bare .unlock()"));
+  EXPECT_TRUE(any_finding_contains(report, "self-deadlocks"));
+}
+
+TEST(LockDisciplineRule, RaiiGuardsSiblingScopesAndDistinctMutexesAreClean) {
+  const auto report = lint_fixture_tree({"lock_discipline/src/clean_lock_discipline.cc"});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
+// --- the two-phase engine -----------------------------------------------------
+
+TEST(TreeSuppressions, InlineAllowCoversPhaseTwoRules) {
+  const std::string snippet =
+      "#include <mutex>\n"
+      "struct Handoff {\n"
+      "  std::mutex mu_;\n"
+      "  void warm_start() {\n"
+      "    mu_.lock();  // storsim-lint: allow(lock-discipline) reason=adopted by the guard below\n"
+      "    std::lock_guard<std::mutex> lk(mu_, std::adopt_lock);\n"
+      "  }\n"
+      "};\n";
+  const auto report = lint::lint_tree_memory({{"src/sim/handoff.cc", snippet}});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+  ASSERT_EQ(report.suppressions.size(), 1u);
+  EXPECT_EQ(report.suppressions[0].rule, lint::Rule::kLockDiscipline);
+  EXPECT_EQ(report.suppressions[0].line, 5u);
+}
+
+TEST(TreeBaseline, PhaseTwoFindingsRoundTripThroughABaseline) {
+  const std::vector<std::string> set = {"error_discipline/src/result.h",
+                                        "error_discipline/src/bad_error_discipline.cc"};
+  auto accepted = lint_fixture_tree(set);
+  ASSERT_FALSE(accepted.findings.empty());
+  auto baseline = lint::parse_baseline(lint::serialize_baseline(accepted.findings), nullptr);
+  const auto fresh = lint::apply_baseline(lint_fixture_tree(set).findings, std::move(baseline));
+  EXPECT_TRUE(fresh.empty());
+}
+
+TEST(TreeReportJson, RoundTripsThroughObsParseJson) {
+  const auto report = lint_fixture_tree({"view_lifetime/src/bad_view_lifetime.cc",
+                                         "lock_discipline/src/bad_lock_discipline.cc"});
+  ASSERT_FALSE(report.findings.empty());
+
+  std::string error;
+  const auto doc = obs::parse_json(lint::render_json_report(report), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+
+  const obs::JsonValue* schema = doc->find("storsim_lint");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->number, 1.0);
+  const obs::JsonValue* files = doc->find("files");
+  ASSERT_NE(files, nullptr);
+  EXPECT_EQ(files->number, static_cast<double>(report.file_count));
+  const obs::JsonValue* finding_count = doc->find("finding_count");
+  ASSERT_NE(finding_count, nullptr);
+  EXPECT_EQ(finding_count->number, static_cast<double>(report.findings.size()));
+
+  const obs::JsonValue* findings = doc->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->array.size(), report.findings.size());
+  const obs::JsonValue& first = findings->array.front();
+  ASSERT_TRUE(first.is_object());
+  for (const char* key : {"path", "rule", "message", "excerpt"}) {
+    const obs::JsonValue* v = first.find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_TRUE(v->is_string()) << key;
+  }
+  const obs::JsonValue* line = first.find("line");
+  ASSERT_NE(line, nullptr);
+  EXPECT_TRUE(line->is_number());
+
+  const obs::JsonValue* sups = doc->find("suppressions");
+  ASSERT_NE(sups, nullptr);
+  EXPECT_TRUE(sups->is_array());
+}
+
+TEST(TreeReportJson, ExcerptsWithQuotesAndBackslashesSurviveTheRoundTrip) {
+  const std::string snippet =
+      "#include <cstdlib>\n"
+      "const char* e = std::getenv(\"A\\\\ \\\"B\\\"\");\n";
+  const auto report = lint::lint_tree_memory({{"src/core/env_probe.cc", snippet}});
+  ASSERT_EQ(report.findings.size(), 1u);
+
+  std::string error;
+  const auto doc = obs::parse_json(lint::render_json_report(report), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const obs::JsonValue* findings = doc->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->array.size(), 1u);
+  const obs::JsonValue* excerpt = findings->array[0].find("excerpt");
+  ASSERT_NE(excerpt, nullptr);
+  EXPECT_EQ(excerpt->string, report.findings[0].excerpt);
+  const obs::JsonValue* message = findings->array[0].find("message");
+  ASSERT_NE(message, nullptr);
+  EXPECT_EQ(message->string, report.findings[0].message);
+}
+
+TEST(TreeEngine, ReportIsIdenticalAtAnyThreadCount) {
+  // Phase 1 fans the files out over util::parallel_for; the merged report is
+  // contractually identical at any thread count. Compare the fully rendered
+  // reports (ordering included) between a serial and a 4-worker run.
+  const lint::LintOptions options;
+  std::vector<std::string> errors;
+  const auto sources = lint::collect_sources({std::string(STORSUBSIM_LINT_FIXTURES)},
+                                             STORSUBSIM_TESTS_DIR, options, &errors);
+  ASSERT_TRUE(errors.empty());
+  ASSERT_FALSE(sources.empty());
+
+  storsubsim::util::set_thread_count(1);
+  const auto serial = lint::lint_tree(sources, options, &errors);
+  ASSERT_TRUE(errors.empty());
+  storsubsim::util::set_thread_count(4);
+  const auto threaded = lint::lint_tree(sources, options, &errors);
+  storsubsim::util::set_thread_count(0);  // restore the default resolution
+  ASSERT_TRUE(errors.empty());
+
+  ASSERT_FALSE(serial.findings.empty());
+  EXPECT_EQ(serial.file_count, threaded.file_count);
+  EXPECT_EQ(lint::render_json_report(serial), lint::render_json_report(threaded));
+}
+
+TEST(CollectSources, FilterChangedKeepsOnlyListedDisplayPaths) {
+  std::vector<lint::SourceFile> sources = {{"src/a.cc", "/tmp/a.cc"},
+                                           {"src/b.cc", "/tmp/b.cc"},
+                                           {"tests/c.cc", "/tmp/c.cc"}};
+  const auto kept = lint::filter_changed(std::move(sources), {"src/b.cc", "docs/readme.md"});
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].display_path, "src/b.cc");
+  EXPECT_TRUE(lint::filter_changed({{"src/a.cc", "/tmp/a.cc"}}, {}).empty());
+}
+
+// --- CLI: JSON output and diff scoping ---------------------------------------
+
+TEST(Cli, FormatJsonEmitsOneParsableObject) {
+  std::string out;
+  const int rc = run_cli_capture("--check --format=json --root " +
+                                     std::string(STORSUBSIM_TESTS_DIR) + " " +
+                                     fixture_path("lock_discipline"),
+                                 &out);
+  EXPECT_EQ(rc, 1);
+  std::string error;
+  const auto doc = obs::parse_json(out, &error);
+  ASSERT_TRUE(doc.has_value()) << error << "\n" << out;
+  const obs::JsonValue* count = doc->find("finding_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 3.0);
+}
+
+TEST(Cli, FormatJsonOnCleanInputExitsZero) {
+  std::string out;
+  const int rc = run_cli_capture(
+      "--check --format=json --root " + std::string(STORSUBSIM_TESTS_DIR) + " " +
+          fixture_path("lock_discipline/src/clean_lock_discipline.cc"),
+      &out);
+  EXPECT_EQ(rc, 0);
+  const auto doc = obs::parse_json(out, nullptr);
+  ASSERT_TRUE(doc.has_value()) << out;
+  const obs::JsonValue* count = doc->find("finding_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->number, 0.0);
+}
+
+TEST(Cli, UnknownFormatExitsTwo) {
+  EXPECT_EQ(run_cli("--check --format=yaml " +
+                    fixture_path("lock_discipline/src/clean_lock_discipline.cc")),
+            2);
+}
+
+TEST(Cli, ChangedOnlyScopesViaGitWithoutUsageErrors) {
+  // The build tree lives inside the repo, so the git plumbing must resolve;
+  // the finding set depends on the working-tree state, so only the exit-code
+  // contract (0 clean / 1 findings, never a usage error) is pinned here.
+  // filter_changed itself is covered in-process above.
+  const int rc = run_cli("--check --changed-only=HEAD --root " +
+                         std::string(STORSUBSIM_TESTS_DIR) + " " +
+                         fixture_path("lock_discipline"));
+  EXPECT_TRUE(rc == 0 || rc == 1) << "exit code " << rc;
 }
 
 }  // namespace

@@ -1,786 +1,20 @@
+// Engine orchestration: source collection, the two-phase lint_tree driver
+// (parallel phase 1, indexed phase 2, deterministic merge), baselines, and
+// report rendering. The scanning substrate is scan.cc, the cross-TU index is
+// index.cc, and the rules live in rules_*.cc.
 #include "lint/linter.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "lint/index.h"
+#include "lint/scan.h"
+#include "obs/json.h"
+#include "util/parallel.h"
+
 namespace storsubsim::lint {
-namespace {
-
-bool is_ident_char(char c) noexcept {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
-         c == '_';
-}
-
-std::string trim(std::string_view s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-std::uint64_t fnv1a(std::string_view s) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
-std::string hex64(std::uint64_t v) {
-  static constexpr char kDigits[] = "0123456789abcdef";
-  std::string out(16, '0');
-  for (std::size_t i = 0; i < 16; ++i) {
-    out[15 - i] = kDigits[v & 0xfu];
-    v >>= 4u;
-  }
-  return out;
-}
-
-/// True when `segment` appears as a whole path component of `path`.
-bool has_segment(std::string_view path, std::string_view segment) noexcept {
-  std::size_t pos = 0;
-  while (pos <= path.size()) {
-    const std::size_t next = path.find('/', pos);
-    const std::size_t len = (next == std::string_view::npos ? path.size() : next) - pos;
-    if (path.substr(pos, len) == segment) return true;
-    if (next == std::string_view::npos) break;
-    pos = next + 1;
-  }
-  return false;
-}
-
-bool ends_with_path(std::string_view path, std::string_view suffix) noexcept {
-  if (path.size() < suffix.size()) return false;
-  if (path.substr(path.size() - suffix.size()) != suffix) return false;
-  return path.size() == suffix.size() || path[path.size() - suffix.size() - 1] == '/';
-}
-
-// --- comment / string stripping ---------------------------------------------
-
-struct Stripped {
-  std::string code;                       // literals and comments blanked
-  std::vector<std::string> comment_text;  // per-line concatenated comment text
-  std::vector<std::size_t> line_start;    // offset of each line in `code`
-};
-
-Stripped strip(std::string_view src) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  Stripped out;
-  out.code.reserve(src.size());
-  out.line_start.push_back(0);
-  out.comment_text.emplace_back();
-
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      out.code.push_back('\n');
-      out.line_start.push_back(out.code.size());
-      out.comment_text.emplace_back();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out.code.append("  ");
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out.code.append("  ");
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal? Look back for R (uR, u8R, LR also exist).
-          if (!out.code.empty() && out.code.back() == 'R') {
-            raw_delim.clear();
-            std::size_t j = i + 1;
-            while (j < src.size() && src[j] != '(' && src[j] != '\n') {
-              raw_delim.push_back(src[j]);
-              ++j;
-            }
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-          out.code.push_back(' ');
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are not character literals.
-          const bool digit_sep = !out.code.empty() &&
-                                 std::isalnum(static_cast<unsigned char>(out.code.back())) != 0;
-          if (!digit_sep) state = State::kChar;
-          out.code.push_back(' ');
-        } else {
-          out.code.push_back(c);
-        }
-        break;
-      case State::kLineComment:
-        out.comment_text.back().push_back(c);
-        out.code.push_back(' ');
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out.code.append("  ");
-          ++i;
-        } else {
-          out.comment_text.back().push_back(c);
-          out.code.push_back(' ');
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out.code.append("  ");
-          ++i;
-        } else {
-          if (c == '"') state = State::kCode;
-          out.code.push_back(' ');
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out.code.append("  ");
-          ++i;
-        } else {
-          if (c == '\'') state = State::kCode;
-          out.code.push_back(' ');
-        }
-        break;
-      case State::kRawString: {
-        // Close only on )delim"
-        if (c == ')' && src.compare(i + 1, raw_delim.size(), raw_delim) == 0 &&
-            i + 1 + raw_delim.size() < src.size() && src[i + 1 + raw_delim.size()] == '"') {
-          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) out.code.push_back(' ');
-          i += raw_delim.size() + 1;
-          state = State::kCode;
-        } else {
-          out.code.push_back(' ');
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-std::size_t line_of(const Stripped& s, std::size_t offset) noexcept {
-  const auto it = std::upper_bound(s.line_start.begin(), s.line_start.end(), offset);
-  return static_cast<std::size_t>(it - s.line_start.begin());  // 1-based
-}
-
-std::string line_excerpt(std::string_view src, std::size_t line) {
-  std::size_t cur = 1, pos = 0;
-  while (cur < line) {
-    const std::size_t nl = src.find('\n', pos);
-    if (nl == std::string_view::npos) return "";
-    pos = nl + 1;
-    ++cur;
-  }
-  const std::size_t end = src.find('\n', pos);
-  return trim(src.substr(pos, end == std::string_view::npos ? std::string_view::npos
-                                                            : end - pos));
-}
-
-// --- inline suppression annotations -----------------------------------------
-
-struct Annotation {
-  std::size_t target_line = 0;  // 1-based line the allow() applies to
-  Rule rule = Rule::kNondeterminism;
-  std::string reason;
-};
-
-bool line_has_code(const Stripped& s, std::size_t line) {
-  const std::size_t begin = s.line_start[line - 1];
-  const std::size_t end =
-      line < s.line_start.size() ? s.line_start[line] : s.code.size();
-  for (std::size_t i = begin; i < end; ++i) {
-    if (std::isspace(static_cast<unsigned char>(s.code[i])) == 0) return true;
-  }
-  return false;
-}
-
-/// Parses `storsim-lint: allow(<rule>) reason=<text>` annotations out of the
-/// comment text. Malformed annotations become kBadSuppression findings.
-void collect_annotations(const Stripped& s, std::string_view path,
-                         std::vector<Annotation>* annotations,
-                         std::vector<Finding>* findings) {
-  static constexpr std::string_view kMarker = "storsim-lint:";
-  for (std::size_t li = 0; li < s.comment_text.size(); ++li) {
-    const std::string& text = s.comment_text[li];
-    std::size_t pos = text.find(kMarker);
-    if (pos == std::string::npos) continue;
-    const std::size_t line = li + 1;
-    auto bad = [&](std::string msg) {
-      findings->push_back(Finding{std::string(path), line, Rule::kBadSuppression,
-                                  std::move(msg), trim(text)});
-    };
-    std::string_view rest = std::string_view(text).substr(pos + kMarker.size());
-    const std::size_t open = rest.find("allow(");
-    if (open == std::string_view::npos) {
-      bad("storsim-lint annotation without allow(<rule>)");
-      continue;
-    }
-    const std::size_t close = rest.find(')', open);
-    if (close == std::string_view::npos) {
-      bad("unterminated allow( in storsim-lint annotation");
-      continue;
-    }
-    const std::string rule_text = trim(rest.substr(open + 6, close - open - 6));
-    const auto rule = rule_from_name(rule_text);
-    if (!rule) {
-      bad("unknown lint rule '" + rule_text + "' in allow()");
-      continue;
-    }
-    const std::size_t reason_pos = rest.find("reason=", close);
-    const std::string reason =
-        reason_pos == std::string_view::npos ? "" : trim(rest.substr(reason_pos + 7));
-    if (reason.empty()) {
-      bad("allow(" + rule_text + ") is missing a reason=...; suppressions must be justified");
-      continue;
-    }
-    // Trailing annotation applies to its own line; a whole-line comment
-    // applies to the next line that has code.
-    std::size_t target = line;
-    if (!line_has_code(s, line)) {
-      target = line + 1;
-      while (target <= s.comment_text.size() && !line_has_code(s, target)) ++target;
-    }
-    annotations->push_back(Annotation{target, *rule, reason});
-  }
-}
-
-// --- token scanning ---------------------------------------------------------
-
-struct Token {
-  std::size_t begin = 0;  // offset in stripped code
-  std::size_t end = 0;
-  std::string_view text;
-};
-
-/// Invokes `fn` for every identifier token in the stripped code.
-template <typename Fn>
-void for_each_identifier(std::string_view code, Fn&& fn) {
-  std::size_t i = 0;
-  while (i < code.size()) {
-    if (is_ident_char(code[i]) && !(code[i] >= '0' && code[i] <= '9')) {
-      const std::size_t begin = i;
-      while (i < code.size() && is_ident_char(code[i])) ++i;
-      fn(Token{begin, i, code.substr(begin, i - begin)});
-    } else {
-      ++i;
-    }
-  }
-}
-
-char prev_nonspace(std::string_view code, std::size_t pos, std::size_t* at = nullptr) {
-  while (pos > 0) {
-    --pos;
-    if (std::isspace(static_cast<unsigned char>(code[pos])) == 0) {
-      if (at != nullptr) *at = pos;
-      return code[pos];
-    }
-  }
-  return '\0';
-}
-
-char next_nonspace(std::string_view code, std::size_t pos, std::size_t* at = nullptr) {
-  while (pos < code.size()) {
-    if (std::isspace(static_cast<unsigned char>(code[pos])) == 0) {
-      if (at != nullptr) *at = pos;
-      return code[pos];
-    }
-    ++pos;
-  }
-  return '\0';
-}
-
-/// True when the identifier token at `tok` is reached via `.` or `->`
-/// (a member access, e.g. `event.time`), as opposed to a free/qualified name.
-bool is_member_access(std::string_view code, const Token& tok) {
-  std::size_t at = 0;
-  const char p = prev_nonspace(code, tok.begin, &at);
-  if (p == '.') return true;
-  if (p == '>' && at > 0 && code[at - 1] == '-') return true;
-  return false;
-}
-
-/// Skips a balanced <...> starting at `pos` (which must point at '<').
-/// Returns one past the closing '>', or npos if unbalanced.
-std::size_t skip_angles(std::string_view code, std::size_t pos) {
-  int depth = 0;
-  while (pos < code.size()) {
-    const char c = code[pos];
-    if (c == '<') ++depth;
-    if (c == '>') {
-      --depth;
-      if (depth == 0) return pos + 1;
-    }
-    if (c == ';' || c == '{') return std::string_view::npos;  // gave up: not a template arg list
-    ++pos;
-  }
-  return std::string_view::npos;
-}
-
-struct NondetToken {
-  std::string_view name;
-  bool call_required;  // must be followed by '(' to count
-  std::string_view message;
-};
-
-constexpr std::string_view kClockMsg =
-    "wall-clock time source breaks replayable simulation; use simulated time "
-    "(model/time.h) or pass timestamps in";
-constexpr std::string_view kRandMsg =
-    "hidden-global-state RNG; derive a storsubsim::stats::Rng keyed substream instead";
-
-constexpr NondetToken kNondetTokens[] = {
-    {"random_device", false,
-     "std::random_device is nondeterministic; seed storsubsim::stats::Rng from the run's "
-     "root seed"},
-    {"system_clock", false, kClockMsg},
-    {"steady_clock", false, kClockMsg},
-    {"high_resolution_clock", false, kClockMsg},
-    {"time", true, kClockMsg},
-    {"clock", true, kClockMsg},
-    {"gettimeofday", true, kClockMsg},
-    {"clock_gettime", true, kClockMsg},
-    {"localtime", true, kClockMsg},
-    {"gmtime", true, kClockMsg},
-    {"rand", true, kRandMsg},
-    {"srand", true, kRandMsg},
-    {"rand_r", true, kRandMsg},
-    {"random", true, kRandMsg},
-    {"srandom", true, kRandMsg},
-    {"drand48", true, kRandMsg},
-    {"lrand48", true, kRandMsg},
-};
-
-constexpr std::string_view kRngEngines[] = {
-    "mt19937",      "mt19937_64",   "minstd_rand",   "minstd_rand0",
-    "ranlux24",     "ranlux48",     "ranlux24_base", "ranlux48_base",
-    "knuth_b",      "default_random_engine",         "seed_seq",
-};
-
-// The <random> distribution types by name (a bare `_distribution` suffix
-// would also catch project functions like stats::bootstrap_distribution).
-constexpr std::string_view kStdDistributions[] = {
-    "uniform_int_distribution",   "uniform_real_distribution",
-    "bernoulli_distribution",     "binomial_distribution",
-    "negative_binomial_distribution", "geometric_distribution",
-    "poisson_distribution",       "exponential_distribution",
-    "gamma_distribution",         "weibull_distribution",
-    "extreme_value_distribution", "normal_distribution",
-    "lognormal_distribution",     "chi_squared_distribution",
-    "cauchy_distribution",        "fisher_f_distribution",
-    "student_t_distribution",     "discrete_distribution",
-    "piecewise_constant_distribution", "piecewise_linear_distribution",
-};
-
-bool is_header(std::string_view path) noexcept {
-  return path.ends_with(".h") || path.ends_with(".hh") || path.ends_with(".hpp") ||
-         path.ends_with(".hxx");
-}
-
-class FileLinter {
- public:
-  FileLinter(std::string_view path, std::string_view contents, const LintOptions& options)
-      : path_(path), src_(contents), options_(options), stripped_(strip(contents)) {}
-
-  FileReport run() {
-    collect_annotations(stripped_, path_, &annotations_, &raw_findings_);
-    const bool in_src = has_segment(path_, "src");
-    const bool in_stats = in_src && has_segment(path_, "stats");
-    if (in_src) {
-      check_nondeterminism();
-      track_unordered_declarations();
-      check_unordered_iteration();
-    }
-    if (!in_stats) check_rng_discipline();
-    if (is_header(path_)) check_header_hygiene();
-    const bool in_log_hotpath = (in_src && has_segment(path_, "log")) ||
-                                (in_src && has_segment(path_, "store")) ||
-                                ends_with_path(path_, "src/core/pipeline.cc") ||
-                                ends_with_path(path_, "src/core/sharded_build.cc");
-    if (in_log_hotpath) check_alloc_hotpath();
-    // The instrumented subsystems time regions exclusively through obs::Span
-    // (one shared epoch, exported to metrics/traces); src/obs/ itself owns
-    // the single steady_clock call site and is exempt.
-    const bool timer_scoped = in_src && !has_segment(path_, "obs") &&
-                              (has_segment(path_, "sim") || has_segment(path_, "log") ||
-                               has_segment(path_, "store") ||
-                               ends_with_path(path_, "src/core/sharded_build.cc"));
-    if (timer_scoped) check_timer_discipline();
-    return finish();
-  }
-
- private:
-  void add(std::size_t offset, Rule rule, std::string message) {
-    const std::size_t line = line_of(stripped_, offset);
-    raw_findings_.push_back(
-        Finding{std::string(path_), line, rule, std::move(message), line_excerpt(src_, line)});
-  }
-
-  void check_nondeterminism() {
-    const bool getenv_ok = std::any_of(
-        options_.getenv_allowlist.begin(), options_.getenv_allowlist.end(),
-        [&](const std::string& suffix) { return ends_with_path(path_, suffix); });
-    for_each_identifier(stripped_.code, [&](const Token& tok) {
-      if (is_member_access(stripped_.code, tok)) return;
-      if (tok.text == "getenv") {
-        if (next_nonspace(stripped_.code, tok.end) != '(') return;
-        if (!getenv_ok) {
-          add(tok.begin, Rule::kNondeterminism,
-              "getenv reads ambient process state; only the allowlisted config entry "
-              "points (src/util/parallel.cc) may consult the environment");
-        }
-        return;
-      }
-      for (const NondetToken& nd : kNondetTokens) {
-        if (tok.text != nd.name) continue;
-        if (nd.call_required && next_nonspace(stripped_.code, tok.end) != '(') break;
-        add(tok.begin, Rule::kNondeterminism, std::string(tok.text) + ": " + std::string(nd.message));
-        break;
-      }
-    });
-  }
-
-  /// True when the identifier token is reached through a `std::` qualifier
-  /// (project-local overloads of the same name are fine).
-  bool is_std_qualified(const Token& tok) const {
-    const std::string_view code = stripped_.code;
-    std::size_t at = 0;
-    if (prev_nonspace(code, tok.begin, &at) != ':' || at == 0 || code[at - 1] != ':') {
-      return false;
-    }
-    std::size_t b = at - 1;
-    while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1])) != 0) --b;
-    std::size_t s = b;
-    while (s > 0 && is_ident_char(code[s - 1])) --s;
-    return code.substr(s, b - s) == "std";
-  }
-
-  // The emit/parse hot path (src/log/, src/store/, src/core/pipeline.cc)
-  // promises steady-state zero allocation (docs/performance.md): every line
-  // is built
-  // in a reusable log::LineWriter and parsed as views into a retained
-  // buffer. This check refuses the per-line allocation patterns the
-  // refactor removed, so they cannot creep back in.
-  void check_alloc_hotpath() {
-    const std::string_view code = stripped_.code;
-    for_each_identifier(code, [&](const Token& tok) {
-      if (is_member_access(code, tok)) return;
-      if (tok.text == "ostringstream" || tok.text == "stringstream" ||
-          tok.text == "istringstream") {
-        add(tok.begin, Rule::kAllocHotpath,
-            std::string(tok.text) +
-                " allocates per use on the log hot path; append into a reusable "
-                "log::LineWriter (emit) or parse views from a retained buffer (parse)");
-        return;
-      }
-      if (tok.text == "to_string" && is_std_qualified(tok) &&
-          next_nonspace(code, tok.end) == '(') {
-        add(tok.begin, Rule::kAllocHotpath,
-            "std::to_string materializes a temporary string per number on the log hot "
-            "path; use log::LineWriter::u64/fixed3 (std::to_chars) instead");
-      }
-    });
-    // String-literal operator+: a real '+' in stripped code (literal/comment
-    // bytes are blanked 1:1, offsets preserved) whose nearest raw-source
-    // neighbor on either side is a double quote.
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      if (code[i] != '+') continue;
-      if (i + 1 < code.size() && (code[i + 1] == '+' || code[i + 1] == '=')) {
-        ++i;  // skip ++ / +=
-        continue;
-      }
-      if (i > 0 && code[i - 1] == '+') continue;
-      const char before = prev_nonspace(src_, i);
-      const char after = next_nonspace(src_, i + 1);
-      if (before == '"' || after == '"') {
-        add(i, Rule::kAllocHotpath,
-            "string-literal operator+ builds a temporary per concatenation on the log "
-            "hot path; append the pieces into a reusable log::LineWriter");
-      }
-    }
-  }
-
-  void check_timer_discipline() {
-    const std::string_view code = stripped_.code;
-    for_each_identifier(code, [&](const Token& tok) {
-      if (is_member_access(code, tok)) return;
-      if (tok.text == "StageTimer" || tok.text == "monotonic_seconds") {
-        add(tok.begin, Rule::kTimerDiscipline,
-            std::string(tok.text) +
-                " is superseded in instrumented subsystems; time the region with an "
-                "obs::Span (src/obs/span.h) so it shares the trace epoch and shows up "
-                "in --trace/--metrics output");
-        return;
-      }
-      if (tok.text == "chrono") {
-        add(tok.begin, Rule::kTimerDiscipline,
-            "direct std::chrono timing bypasses the observability layer; wrap the "
-            "region in an obs::Span (src/obs/span.h) or read obs::now_seconds()");
-      }
-    });
-  }
-
-  void check_rng_discipline() {
-    for_each_identifier(stripped_.code, [&](const Token& tok) {
-      if (is_member_access(stripped_.code, tok)) return;
-      const bool engine =
-          std::find(std::begin(kRngEngines), std::end(kRngEngines), tok.text) !=
-          std::end(kRngEngines);
-      const bool distribution =
-          std::find(std::begin(kStdDistributions), std::end(kStdDistributions),
-                    tok.text) != std::end(kStdDistributions);
-      if (!engine && !distribution) return;
-      add(tok.begin, Rule::kRngDiscipline,
-          std::string(tok.text) +
-              " bypasses the keyed-substream discipline; all randomness must flow "
-              "through storsubsim::stats::Rng (stats/rng.h)");
-    });
-  }
-
-  // Records identifiers declared in this file with an unordered container
-  // type (including through local `using X = std::unordered_map<...>`
-  // aliases), so iteration over them can be flagged.
-  void track_unordered_declarations() {
-    unordered_types_ = {"unordered_map", "unordered_set", "unordered_multimap",
-                        "unordered_multiset"};
-    const std::string_view code = stripped_.code;
-    // Pass 1: aliases. `using X = ...unordered_...;`
-    for_each_identifier(code, [&](const Token& tok) {
-      if (tok.text != "using") return;
-      Token name;
-      if (!next_identifier(tok.end, &name)) return;
-      std::size_t at = 0;
-      if (next_nonspace(code, name.end, &at) != '=') return;
-      const std::size_t semi = code.find(';', at);
-      if (semi == std::string_view::npos) return;
-      const std::string_view rhs = code.substr(at, semi - at);
-      for (const std::string& t : unordered_types_) {
-        if (rhs.find(t) != std::string_view::npos) {
-          unordered_types_.push_back(std::string(name.text));
-          break;
-        }
-      }
-    });
-    // Pass 2: declarations. `<unordered type> [<...>] [&*] name [;,={(:)]`
-    for_each_identifier(code, [&](const Token& tok) {
-      if (std::find(unordered_types_.begin(), unordered_types_.end(), tok.text) ==
-          unordered_types_.end()) {
-        return;
-      }
-      std::size_t pos = tok.end;
-      std::size_t at = 0;
-      if (next_nonspace(code, pos, &at) == '<') {
-        pos = skip_angles(code, at);
-        if (pos == std::string_view::npos) return;
-      }
-      // Skip references, pointers, and cv qualifiers between type and name.
-      Token name;
-      for (;;) {
-        const char c = next_nonspace(code, pos, &at);
-        if (c == '&' || c == '*') {
-          pos = at + 1;
-          continue;
-        }
-        if (!is_ident_char(c)) return;
-        if (!next_identifier(pos, &name)) return;
-        if (name.text == "const" || name.text == "constexpr" || name.text == "static") {
-          pos = name.end;
-          continue;
-        }
-        break;
-      }
-      const char after = next_nonspace(code, name.end);
-      if (after == ';' || after == ',' || after == '=' || after == '{' || after == '(' ||
-          after == ')' || after == ':' || after == '[') {
-        declared_unordered_.push_back(std::string(name.text));
-      }
-    });
-  }
-
-  bool next_identifier(std::size_t pos, Token* out) const {
-    const std::string_view code = stripped_.code;
-    std::size_t at = 0;
-    if (!is_ident_char(next_nonspace(code, pos, &at))) return false;
-    std::size_t end = at;
-    while (end < code.size() && is_ident_char(code[end])) ++end;
-    *out = Token{at, end, code.substr(at, end - at)};
-    return true;
-  }
-
-  bool tracked(std::string_view name) const {
-    return std::find(declared_unordered_.begin(), declared_unordered_.end(), name) !=
-           declared_unordered_.end();
-  }
-
-  void check_unordered_iteration() {
-    const std::string_view code = stripped_.code;
-    // Range-for over a tracked variable (or member chain ending in one).
-    for_each_identifier(code, [&](const Token& tok) {
-      if (tok.text != "for") return;
-      std::size_t at = 0;
-      if (next_nonspace(code, tok.end, &at) != '(') return;
-      // Balanced paren scan; find the top-level ':' (not '::').
-      int depth = 0;
-      std::size_t colon = std::string_view::npos, close = std::string_view::npos;
-      for (std::size_t i = at; i < code.size(); ++i) {
-        const char c = code[i];
-        if (c == '(' || c == '[' || c == '{') ++depth;
-        if (c == ')' || c == ']' || c == '}') {
-          --depth;
-          if (depth == 0) {
-            close = i;
-            break;
-          }
-        }
-        if (c == ':' && depth == 1 && colon == std::string_view::npos) {
-          const bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
-                           (i > 0 && code[i - 1] == ':');
-          if (!dbl) colon = i;
-        }
-      }
-      if (colon == std::string_view::npos || close == std::string_view::npos) return;
-      const std::string_view range = code.substr(colon + 1, close - colon - 1);
-      std::string last_ident;
-      if (!parse_var_chain(range, &last_ident)) return;
-      if (!tracked(last_ident)) return;
-      add(tok.begin, Rule::kUnorderedIter,
-          "range-for over '" + last_ident +
-              "' (std::unordered_*) leaks hash-table iteration order; iterate a sorted "
-              "view / std::map, or annotate allow(unordered-iter) with a reason if the "
-              "loop body is order-insensitive");
-    });
-    // Explicit iterator loops / algorithms: tracked.begin(), tracked->begin().
-    for_each_identifier(code, [&](const Token& tok) {
-      if (tok.text != "begin" && tok.text != "cbegin") return;
-      if (next_nonspace(code, tok.end) != '(') return;
-      std::size_t at = 0;
-      const char p = prev_nonspace(code, tok.begin, &at);
-      std::size_t base_end;
-      if (p == '.') {
-        base_end = at;
-      } else if (p == '>' && at > 0 && code[at - 1] == '-') {
-        base_end = at - 1;
-      } else {
-        return;
-      }
-      // Identifier immediately before the access operator.
-      std::size_t b = base_end;
-      while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1])) != 0) --b;
-      std::size_t s = b;
-      while (s > 0 && is_ident_char(code[s - 1])) --s;
-      if (s == b) return;
-      const std::string_view base = code.substr(s, b - s);
-      if (!tracked(base)) return;
-      add(tok.begin, Rule::kUnorderedIter,
-          "iterator traversal of '" + std::string(base) +
-              "' (std::unordered_*) leaks hash-table iteration order; iterate a sorted "
-              "view / std::map, or annotate allow(unordered-iter) with a reason if the "
-              "traversal is order-insensitive");
-    });
-  }
-
-  /// Accepts `name`, `*name`, `a.b->c` chains; rejects anything with calls or
-  /// operators (we cannot see through function results). Returns the final
-  /// identifier of the chain.
-  static bool parse_var_chain(std::string_view expr, std::string* last_ident) {
-    std::size_t i = 0;
-    auto skip_ws = [&] {
-      while (i < expr.size() && std::isspace(static_cast<unsigned char>(expr[i])) != 0) ++i;
-    };
-    skip_ws();
-    while (i < expr.size() && (expr[i] == '*' || expr[i] == '&' || expr[i] == '(')) ++i;
-    skip_ws();
-    std::string last;
-    for (;;) {
-      skip_ws();
-      if (i >= expr.size() || !is_ident_char(expr[i])) return false;
-      const std::size_t s = i;
-      while (i < expr.size() && is_ident_char(expr[i])) ++i;
-      last.assign(expr.substr(s, i - s));
-      skip_ws();
-      while (i < expr.size() && expr[i] == ')') {
-        ++i;
-        skip_ws();
-      }
-      if (i >= expr.size()) break;
-      if (expr[i] == '.') {
-        ++i;
-        continue;
-      }
-      if (expr[i] == '-' && i + 1 < expr.size() && expr[i + 1] == '>') {
-        i += 2;
-        continue;
-      }
-      return false;  // call, subscript, arithmetic, ... — give up silently
-    }
-    *last_ident = std::move(last);
-    return true;
-  }
-
-  void check_header_hygiene() {
-    const std::string_view code = stripped_.code;
-    if (code.find("#pragma once") == std::string_view::npos) {
-      const bool guarded = code.find("#ifndef") != std::string_view::npos &&
-                           code.find("#define") != std::string_view::npos;
-      if (!guarded) {
-        raw_findings_.push_back(Finding{std::string(path_), 1, Rule::kHeaderHygiene,
-                                        "header lacks #pragma once (or an include guard); "
-                                        "double inclusion is an ODR time bomb",
-                                        line_excerpt(src_, 1)});
-      }
-    }
-    for_each_identifier(code, [&](const Token& tok) {
-      if (tok.text != "using") return;
-      Token next;
-      if (!next_identifier(tok.end, &next) || next.text != "namespace") return;
-      add(tok.begin, Rule::kHeaderHygiene,
-          "using-namespace in a header leaks the namespace into every includer; "
-          "qualify names instead");
-    });
-  }
-
-  FileReport finish() {
-    FileReport report;
-    for (const Annotation& a : annotations_) {
-      report.suppressions.push_back(
-          Suppression{std::string(path_), a.target_line, a.rule, a.reason});
-    }
-    for (Finding& f : raw_findings_) {
-      const bool suppressed =
-          f.rule != Rule::kBadSuppression &&
-          std::any_of(annotations_.begin(), annotations_.end(), [&](const Annotation& a) {
-            return a.target_line == f.line && a.rule == f.rule;
-          });
-      if (!suppressed) report.findings.push_back(std::move(f));
-    }
-    std::sort(report.findings.begin(), report.findings.end(),
-              [](const Finding& a, const Finding& b) {
-                if (a.line != b.line) return a.line < b.line;
-                return rule_name(a.rule) < rule_name(b.rule);
-              });
-    return report;
-  }
-
-  std::string_view path_;
-  std::string_view src_;
-  const LintOptions& options_;
-  Stripped stripped_;
-  std::vector<Annotation> annotations_;
-  std::vector<Finding> raw_findings_;
-  std::vector<std::string> unordered_types_;
-  std::vector<std::string> declared_unordered_;
-};
-
-}  // namespace
 
 std::string_view rule_name(Rule rule) noexcept {
   switch (rule) {
@@ -790,6 +24,10 @@ std::string_view rule_name(Rule rule) noexcept {
     case Rule::kHeaderHygiene: return "header-hygiene";
     case Rule::kAllocHotpath: return "alloc-hotpath";
     case Rule::kTimerDiscipline: return "timer-discipline";
+    case Rule::kViewLifetime: return "view-lifetime";
+    case Rule::kErrorDiscipline: return "error-discipline";
+    case Rule::kLayering: return "layering";
+    case Rule::kLockDiscipline: return "lock-discipline";
     case Rule::kBadSuppression: return "bad-suppression";
   }
   return "unknown";
@@ -800,11 +38,6 @@ std::optional<Rule> rule_from_name(std::string_view name) noexcept {
     if (rule_name(r) == name) return r;
   }
   return std::nullopt;
-}
-
-FileReport lint_source(std::string_view path, std::string_view contents,
-                       const LintOptions& options) {
-  return FileLinter(path, contents, options).run();
 }
 
 std::string normalize_path(std::string_view path, std::string_view root) {
@@ -876,6 +109,162 @@ std::vector<SourceFile> collect_sources(const std::vector<std::string>& paths,
                           return a.display_path == b.display_path;
                         }),
             out.end());
+  return out;
+}
+
+std::vector<SourceFile> filter_changed(std::vector<SourceFile> sources,
+                                       const std::vector<std::string>& changed) {
+  std::vector<std::string> wanted = changed;
+  std::sort(wanted.begin(), wanted.end());
+  std::vector<SourceFile> out;
+  for (SourceFile& s : sources) {
+    if (std::binary_search(wanted.begin(), wanted.end(), s.display_path)) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Phase-1 result for one slot of the parallel scan.
+struct Slot {
+  bool read_ok = true;
+  std::string error;
+  std::string contents;
+  FileReport report;
+  FileEntry entry;
+};
+
+/// The shared engine body: `contents` must already be loaded into the slots.
+TreeReport run_engine(std::vector<Slot>& slots, const LintOptions& options) {
+  // Phase 1 (parallel, deterministic): per-file rules + per-file index entry,
+  // written into pre-sized slots and merged in index order.
+  util::parallel_for(slots.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Slot& slot = slots[i];
+      if (!slot.read_ok) continue;
+      slot.report = lint_source(slot.entry.display_path, slot.contents, options);
+      slot.entry = index_file(std::move(slot.entry.display_path), slot.contents);
+    }
+  });
+
+  TreeReport report;
+  std::vector<FileEntry> entries;
+  entries.reserve(slots.size());
+  for (Slot& slot : slots) {
+    if (!slot.read_ok) continue;
+    ++report.file_count;
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(slot.report.findings.begin()),
+                           std::make_move_iterator(slot.report.findings.end()));
+    report.suppressions.insert(
+        report.suppressions.end(),
+        std::make_move_iterator(slot.report.suppressions.begin()),
+        std::make_move_iterator(slot.report.suppressions.end()));
+    entries.push_back(std::move(slot.entry));
+  }
+
+  // Phase 2: semantic rules over the cross-TU index, then inline-allow
+  // matching against the annotations phase 1 already honoured per file.
+  const TreeIndex index = build_index(std::move(entries));
+  std::vector<Finding> tree_findings;
+  check_view_lifetime(index, &tree_findings);
+  check_error_discipline(index, &tree_findings);
+  check_layering(index, &tree_findings);
+  check_lock_discipline(index, &tree_findings);
+  for (Finding& f : tree_findings) {
+    bool suppressed = false;
+    for (const FileEntry& e : index.files) {
+      if (e.display_path != f.path) continue;
+      for (const Annotation& a : e.annotations) {
+        if (a.target_line == f.line && a.rule == f.rule) suppressed = true;
+      }
+      break;
+    }
+    if (!suppressed) report.findings.push_back(std::move(f));
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return rule_name(a.rule) < rule_name(b.rule);
+              return a.message < b.message;
+            });
+  std::sort(report.suppressions.begin(), report.suppressions.end(),
+            [](const Suppression& a, const Suppression& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return rule_name(a.rule) < rule_name(b.rule);
+            });
+  return report;
+}
+
+}  // namespace
+
+TreeReport lint_tree(const std::vector<SourceFile>& sources,
+                     const LintOptions& options,
+                     std::vector<std::string>* errors) {
+  std::vector<Slot> slots(sources.size());
+  // Reads happen in the parallel phase too, but failures are reported in
+  // slot order, so the error list stays deterministic.
+  util::parallel_for(slots.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Slot& slot = slots[i];
+      slot.entry.display_path = sources[i].display_path;
+      std::ifstream in(sources[i].fs_path, std::ios::binary);
+      if (!in) {
+        slot.read_ok = false;
+        slot.error = "cannot read " + sources[i].fs_path;
+        continue;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      slot.contents = buf.str();
+    }
+  });
+  for (const Slot& slot : slots) {
+    if (!slot.read_ok && errors != nullptr) errors->push_back(slot.error);
+  }
+  return run_engine(slots, options);
+}
+
+TreeReport lint_tree_memory(const std::vector<MemoryFile>& files,
+                            const LintOptions& options) {
+  std::vector<Slot> slots(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    slots[i].entry.display_path = files[i].display_path;
+    slots[i].contents = files[i].contents;
+  }
+  return run_engine(slots, options);
+}
+
+std::string render_json_report(const TreeReport& report) {
+  std::string out;
+  out += "{\"storsim_lint\": 1, \"files\": " + std::to_string(report.file_count);
+  out += ", \"finding_count\": " + std::to_string(report.findings.size());
+  out += ", \"suppression_count\": " + std::to_string(report.suppressions.size());
+  out += ", \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i > 0) out += ", ";
+    out += "{\"path\": \"" + obs::json_escape(f.path) + "\"";
+    out += ", \"line\": " + std::to_string(f.line);
+    out += ", \"rule\": \"" + std::string(rule_name(f.rule)) + "\"";
+    out += ", \"message\": \"" + obs::json_escape(f.message) + "\"";
+    out += ", \"excerpt\": \"" + obs::json_escape(f.excerpt) + "\"}";
+  }
+  out += "], \"suppressions\": [";
+  for (std::size_t i = 0; i < report.suppressions.size(); ++i) {
+    const Suppression& s = report.suppressions[i];
+    if (i > 0) out += ", ";
+    out += "{\"path\": \"" + obs::json_escape(s.path) + "\"";
+    out += ", \"line\": " + std::to_string(s.line);
+    out += ", \"rule\": \"" + std::string(rule_name(s.rule)) + "\"";
+    out += ", \"reason\": \"" + obs::json_escape(s.reason) + "\"}";
+  }
+  out += "]}\n";
   return out;
 }
 

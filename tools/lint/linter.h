@@ -1,27 +1,28 @@
-// storsim_lint — static enforcement of the project's determinism contract.
+// storsim_lint — static enforcement of the project's determinism, memory-
+// safety, and concurrency contracts.
 //
 // The analysis pipeline promises bit-identical output at any thread count
-// (see docs/performance.md). Runtime ThreadInvariance tests catch violations
-// probabilistically; this linter proves the cheap half statically by refusing
-// to let known nondeterminism sources into the tree at all:
+// (see docs/performance.md) and that corrupted storage-layer input can never
+// reach undefined behavior (docs/STORE.md). Runtime ThreadInvariance tests
+// and the corruption-fuzz suite catch violations probabilistically; this
+// linter proves the cheap half statically by refusing to let known violation
+// patterns into the tree at all.
 //
-//   nondeterminism  — wall clocks, rand()/srand, std::random_device, getenv
-//                     (outside an explicit allowlist) in src/
-//   unordered-iter  — range-for / begin() iteration over std::unordered_map
-//                     or std::unordered_set in src/, whose order is a hash-
-//                     table implementation detail
-//   rng-discipline  — ad-hoc <random> engines or distributions anywhere;
-//                     randomness must flow through stats/rng.h keyed streams
-//   header-hygiene  — headers need #pragma once (or a guard) and must not
-//                     contain using-namespace directives
-//   alloc-hotpath   — per-line allocation patterns (std::ostringstream /
-//                     std::stringstream, std::to_string, string-literal
-//                     operator+) inside the log hot path (src/log/ and
-//                     src/core/pipeline.cc); format through log::LineWriter
-//   timer-discipline— util::StageTimer / std::chrono timing inside the
-//                     instrumented subsystems (src/sim/, src/log/, src/store/);
-//                     time regions with obs::Span so every measurement shares
-//                     one clock epoch and lands in the trace/metric exporters
+// The engine runs in two phases:
+//
+//   phase 1 (per file, parallel)  — token-scan rules over one translation
+//     unit at a time: nondeterminism, unordered-iter, rng-discipline,
+//     header-hygiene, alloc-hotpath, timer-discipline. While scanning, each
+//     file is also indexed: its quoted includes, declared functions (return
+//     types, [[nodiscard]]-ness, bodies, parameters), mutex inventory, and
+//     view-typed members.
+//   phase 2 (over the cross-TU index) — semantic rules that need more than
+//     one file: view-lifetime (returning/storing a view of a dying buffer),
+//     error-discipline (store::Error-returning APIs must be [[nodiscard]]
+//     and their results must not be silently discarded), layering (the
+//     declared dependency DAG over src/, with include-cycle detection), and
+//     lock-discipline (mutexes are acquired via RAII guards only; no bare
+//     .lock()/.unlock(), no double-lock in one scope).
 //
 // Intentional exceptions are either annotated inline,
 //
@@ -48,13 +49,18 @@ enum class Rule {
   kHeaderHygiene,
   kAllocHotpath,
   kTimerDiscipline,
+  kViewLifetime,
+  kErrorDiscipline,
+  kLayering,
+  kLockDiscipline,
   kBadSuppression,
 };
 
-inline constexpr Rule kAllRules[] = {Rule::kNondeterminism,  Rule::kUnorderedIter,
-                                     Rule::kRngDiscipline,   Rule::kHeaderHygiene,
-                                     Rule::kAllocHotpath,    Rule::kTimerDiscipline,
-                                     Rule::kBadSuppression};
+inline constexpr Rule kAllRules[] = {
+    Rule::kNondeterminism, Rule::kUnorderedIter,    Rule::kRngDiscipline,
+    Rule::kHeaderHygiene,  Rule::kAllocHotpath,     Rule::kTimerDiscipline,
+    Rule::kViewLifetime,   Rule::kErrorDiscipline,  Rule::kLayering,
+    Rule::kLockDiscipline, Rule::kBadSuppression};
 
 std::string_view rule_name(Rule rule) noexcept;
 std::optional<Rule> rule_from_name(std::string_view name) noexcept;
@@ -90,9 +96,11 @@ struct FileReport {
   std::vector<Suppression> suppressions;
 };
 
-/// Lints one translation unit / header. `path` should already be normalized
-/// (forward slashes, relative to the repo root when possible): rule scoping
-/// (src/ vs bench/ vs tests/) and the getenv allowlist key off of it.
+/// Lints one translation unit / header with the phase-1 per-file rules.
+/// `path` should already be normalized (forward slashes, relative to the
+/// repo root when possible): rule scoping (src/ vs bench/ vs tests/) and the
+/// getenv allowlist key off of it. Phase-2 rules need the cross-TU index and
+/// run through lint_tree instead.
 FileReport lint_source(std::string_view path, std::string_view contents,
                        const LintOptions& options = {});
 
@@ -112,6 +120,47 @@ std::vector<SourceFile> collect_sources(const std::vector<std::string>& paths,
                                         std::string_view root,
                                         const LintOptions& options,
                                         std::vector<std::string>* errors);
+
+/// Restricts `sources` to entries whose display path appears in `changed`
+/// (paths as git prints them: repo-relative, '/'-separated). Backs the CLI's
+/// --changed-only mode for fast pre-commit runs. Note that phase-2 rules see
+/// only the scanned subset: cross-TU facts living in unchanged files (for
+/// example a [[nodiscard]] on a header the diff does not touch) are invisible
+/// in this mode — the full scan remains the gate of record.
+std::vector<SourceFile> filter_changed(std::vector<SourceFile> sources,
+                                       const std::vector<std::string>& changed);
+
+// --- the two-phase engine ---------------------------------------------------
+
+/// An in-memory source, for driving the engine without a filesystem.
+struct MemoryFile {
+  std::string display_path;
+  std::string contents;
+};
+
+struct TreeReport {
+  std::vector<Finding> findings;        // sorted by (path, line, rule, message)
+  std::vector<Suppression> suppressions;
+  std::size_t file_count = 0;
+};
+
+/// The full engine: reads every source (in parallel over the shared thread
+/// pool), runs the phase-1 per-file rules, builds the cross-TU index, runs
+/// the phase-2 semantic rules, applies inline suppressions, and returns a
+/// deterministically ordered report (sorted by path, then line, then rule —
+/// identical at any thread count). I/O failures are reported via *errors.
+TreeReport lint_tree(const std::vector<SourceFile>& sources,
+                     const LintOptions& options,
+                     std::vector<std::string>* errors);
+
+/// Same engine over in-memory sources (tests, editor integrations).
+TreeReport lint_tree_memory(const std::vector<MemoryFile>& files,
+                            const LintOptions& options = {});
+
+/// Renders a TreeReport as a machine-readable JSON document (one object:
+/// schema version, file/finding/suppression counts, findings[], and
+/// suppressions[]). Strict RFC 8259 — round-trips through obs::parse_json.
+std::string render_json_report(const TreeReport& report);
 
 // --- baseline support -------------------------------------------------------
 // A baseline is a sorted text file, one line per accepted finding:

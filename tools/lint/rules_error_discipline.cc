@@ -1,0 +1,71 @@
+// error-discipline: "corrupted input can never reach UB" only holds if every
+// store::Error actually gets looked at. Two enforcement points:
+//
+//   (a) every src/ function returning store::Error (or Result/Expected-style
+//       types) must be [[nodiscard]] on at least one declaration — the
+//       compiler then polices call sites the linter cannot see;
+//   (b) no call to such a function may appear as a discarded expression
+//       statement, including `(void)`-casts — an intentional discard must
+//       carry an allow(error-discipline) annotation so the reason is on
+//       record.
+//
+// The function table is keyed by name across the whole src/ tree; an overload
+// set shares its [[nodiscard]] status (the coarseness is documented in
+// docs/static-analysis.md).
+#include "lint/index.h"
+#include "lint/scan.h"
+
+namespace storsubsim::lint {
+
+void check_error_discipline(const TreeIndex& index, std::vector<Finding>* findings) {
+  for (const FileEntry& e : index.files) {
+    if (!has_segment(e.display_path, "src")) continue;
+    const std::string_view code = e.stripped.code;
+
+    for (const FuncDef& f : e.functions) {
+      if (f.ret != TypeCategory::kError || f.nodiscard) continue;
+      const auto it = index.error_functions.find(f.name);
+      if (it != index.error_functions.end() && it->second) continue;
+      findings->push_back(Finding{
+          e.display_path, f.line, Rule::kErrorDiscipline,
+          "'" + f.name +
+              "' returns an error type but no declaration is [[nodiscard]]; a "
+              "silently dropped error lets corrupted input march on — annotate the "
+              "declaration",
+          line_excerpt(*e.contents, f.line)});
+    }
+
+    for_each_identifier(code, [&](const Token& tok) {
+      const auto it = index.error_functions.find(std::string(tok.text));
+      if (it == index.error_functions.end()) return;
+      std::size_t at = 0;
+      if (next_nonspace(code, tok.end, &at) != '(') return;
+      const std::size_t close = match_paren(code, at);
+      if (close == std::string_view::npos) return;
+      if (next_nonspace(code, close + 1) != ';') return;
+      const std::size_t root = chain_start(code, tok);
+      if (root == std::string_view::npos) return;
+      std::size_t bat = 0;
+      const char before = root == 0 ? '\0' : prev_nonspace(code, root, &bat);
+      bool statement =
+          before == '\0' || before == ';' || before == '{' || before == '}';
+      if (!statement && before == ')') {
+        // `(void)call(...);` is still a discard; the annotation, not the
+        // cast, is the sanctioned opt-out.
+        const Token cast = ident_before(code, bat);
+        if (cast.text == "void" && prev_nonspace(code, cast.begin) == '(') {
+          statement = true;
+        }
+      }
+      if (!statement) return;
+      findings->push_back(Finding{
+          e.display_path, line_of(e.stripped, tok.begin), Rule::kErrorDiscipline,
+          "result of '" + std::string(tok.text) +
+              "' (an error type) is discarded; check it, or annotate "
+              "allow(error-discipline) with the reason the error cannot matter here",
+          line_excerpt(*e.contents, line_of(e.stripped, tok.begin))});
+    });
+  }
+}
+
+}  // namespace storsubsim::lint

@@ -1,0 +1,145 @@
+// layering: the src/ tree is a declared DAG (see layer_closure() in index.cc
+// and the table in docs/static-analysis.md). Two checks over the include
+// graph phase 1 extracted:
+//
+//   (a) every `#include "<layer>/..."` from a src/ file must stay within the
+//       including layer's transitive dependency closure;
+//   (b) the include graph over all scanned files must be cycle-free — cycles
+//       are reported with the full path so the offending edge is obvious.
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "lint/index.h"
+#include "lint/scan.h"
+
+namespace storsubsim::lint {
+namespace {
+
+/// The layer directory of a display path: the segment after "src"
+/// ("src/store/reader.h" -> "store"); empty when the path is not under a
+/// src/ segment or has no layer directory.
+std::string layer_of(std::string_view path) {
+  std::vector<std::string_view> segs;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t next = path.find('/', pos);
+    segs.push_back(path.substr(
+        pos, next == std::string_view::npos ? path.size() - pos : next - pos));
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  for (std::size_t i = 0; i + 2 < segs.size(); ++i) {
+    // segs[i+1] must be a directory (a file name follows it).
+    if (segs[i] == "src") return std::string(segs[i + 1]);
+  }
+  return "";
+}
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out.empty() ? "nothing" : out;
+}
+
+struct Edge {
+  std::size_t to;
+  std::size_t line;        // include line in the source file
+  std::string_view target;  // the include string, for messages
+};
+
+void check_dag(const TreeIndex& index, std::vector<Finding>* findings) {
+  const auto& closure = layer_closure();
+  for (const FileEntry& e : index.files) {
+    const std::string from = layer_of(e.display_path);
+    if (from.empty()) continue;
+    const auto cit = closure.find(from);
+    if (cit == closure.end()) continue;  // not a declared layer directory
+    for (const IncludeRef& inc : e.includes) {
+      const std::size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string to = inc.target.substr(0, slash);
+      if (to == from) continue;
+      if (closure.find(to) == closure.end()) continue;  // not a layer include
+      if (std::find(cit->second.begin(), cit->second.end(), to) !=
+          cit->second.end()) {
+        continue;
+      }
+      findings->push_back(Finding{
+          e.display_path, inc.line, Rule::kLayering,
+          "include of \"" + inc.target + "\" breaks the layering DAG: " + from +
+              " may depend only on {" + join(cit->second) +
+              "} (docs/static-analysis.md)",
+          line_excerpt(*e.contents, inc.line)});
+    }
+  }
+}
+
+void check_cycles(const TreeIndex& index, std::vector<Finding>* findings) {
+  // Resolve include strings to scanned files: exact display-path match first,
+  // then path-suffix matches (covers both -I src and -I tools include roots).
+  std::map<std::string_view, std::size_t> by_path;
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    by_path.emplace(index.files[i].display_path, i);
+  }
+  std::vector<std::vector<Edge>> edges(index.files.size());
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    for (const IncludeRef& inc : index.files[i].includes) {
+      const auto exact = by_path.find(inc.target);
+      if (exact != by_path.end()) {
+        if (exact->second != i) edges[i].push_back(Edge{exact->second, inc.line, inc.target});
+        continue;
+      }
+      for (std::size_t j = 0; j < index.files.size(); ++j) {
+        if (j != i && ends_with_path(index.files[j].display_path, inc.target)) {
+          edges[i].push_back(Edge{j, inc.line, inc.target});
+        }
+      }
+    }
+  }
+
+  // DFS three-color cycle detection; each back edge reports the cycle once,
+  // with the full path spelled out.
+  std::vector<int> color(index.files.size(), 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::size_t> path;
+  const std::function<void(std::size_t)> visit = [&](std::size_t u) {
+    color[u] = 1;
+    path.push_back(u);
+    for (const Edge& edge : edges[u]) {
+      if (color[edge.to] == 1) {
+        const auto it = std::find(path.begin(), path.end(), edge.to);
+        std::string cycle;
+        for (auto p = it; p != path.end(); ++p) {
+          cycle += index.files[*p].display_path;
+          cycle += " -> ";
+        }
+        cycle += index.files[edge.to].display_path;
+        findings->push_back(Finding{
+            index.files[u].display_path, edge.line, Rule::kLayering,
+            "include cycle: " + cycle +
+                "; break the cycle with a forward declaration or by moving the "
+                "shared piece down a layer",
+            line_excerpt(*index.files[u].contents, edge.line)});
+      } else if (color[edge.to] == 0) {
+        visit(edge.to);
+      }
+    }
+    path.pop_back();
+    color[u] = 2;
+  };
+  for (std::size_t i = 0; i < index.files.size(); ++i) {
+    if (color[i] == 0) visit(i);
+  }
+}
+
+}  // namespace
+
+void check_layering(const TreeIndex& index, std::vector<Finding>* findings) {
+  check_dag(index, findings);
+  check_cycles(index, findings);
+}
+
+}  // namespace storsubsim::lint

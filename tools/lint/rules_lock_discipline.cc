@@ -1,0 +1,160 @@
+// lock-discipline: in src/, mutexes are acquired through RAII guards only.
+// Bare `.lock()` / `.unlock()` calls leak the lock on any early return or
+// exception path; acquiring a guard on a mutex already held in the enclosing
+// scope self-deadlocks (std::mutex is not recursive). Both are the guardrails
+// the storsimd request path will live under.
+//
+// Double-lock tracking keys on the full normalized guard-argument chain
+// ("state_.mu" vs "other.mu" stay distinct); guards constructed with
+// defer_lock / adopt_lock / try_to_lock do not acquire and are ignored.
+#include <algorithm>
+#include <cctype>
+
+#include "lint/index.h"
+#include "lint/scan.h"
+
+namespace storsubsim::lint {
+namespace {
+
+constexpr std::string_view kGuardTypes[] = {"lock_guard", "unique_lock",
+                                            "scoped_lock", "shared_lock"};
+
+std::string squeeze(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+/// Splits guard-constructor arguments at top-level commas.
+std::vector<std::string> guard_keys(std::string_view args) {
+  std::vector<std::string> keys;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= args.size(); ++i) {
+    const char c = i < args.size() ? args[i] : ',';
+    if (c == '<' || c == '(' || c == '[' || c == '{') ++depth;
+    if (c == '>' || c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth <= 0) {
+      std::string key = squeeze(args.substr(start, i - start));
+      start = i + 1;
+      if (key.empty()) continue;
+      if (key.find("defer_lock") != std::string::npos ||
+          key.find("adopt_lock") != std::string::npos ||
+          key.find("try_to_lock") != std::string::npos) {
+        // The guard does not acquire on construction; nothing to track.
+        return {};
+      }
+      while (!key.empty() && (key.front() == '*' || key.front() == '&')) key.erase(0, 1);
+      keys.push_back(std::move(key));
+    }
+  }
+  return keys;
+}
+
+void check_bare_lock_calls(const FileEntry& e, std::vector<Finding>* findings) {
+  const std::string_view code = e.stripped.code;
+  for_each_identifier(code, [&](const Token& tok) {
+    if (tok.text != "lock" && tok.text != "unlock") return;
+    if (!is_member_access(code, tok)) return;
+    if (next_nonspace(code, tok.end) != '(') return;
+    const std::size_t line = line_of(e.stripped, tok.begin);
+    findings->push_back(Finding{
+        e.display_path, line, Rule::kLockDiscipline,
+        "bare ." + std::string(tok.text) +
+            "() call; acquire through std::lock_guard/unique_lock/scoped_lock so "
+            "every return and exception path releases the mutex",
+        line_excerpt(*e.contents, line)});
+  });
+}
+
+struct GuardDecl {
+  std::size_t offset = 0;  // token start within the body
+  std::size_t line = 0;
+  std::vector<std::string> keys;
+};
+
+void check_double_lock(const FileEntry& e, const FuncDef& f,
+                       std::vector<Finding>* findings) {
+  const std::string_view code = e.stripped.code;
+  const std::string_view body =
+      code.substr(f.body_begin, f.body_end - f.body_begin + 1);
+
+  std::vector<GuardDecl> decls;
+  for_each_identifier(body, [&](const Token& tok) {
+    if (std::find(std::begin(kGuardTypes), std::end(kGuardTypes), tok.text) ==
+        std::end(kGuardTypes)) {
+      return;
+    }
+    std::size_t pos = tok.end;
+    std::size_t at = 0;
+    if (next_nonspace(body, pos, &at) == '<') {
+      pos = skip_angles(body, at);
+      if (pos == std::string_view::npos) return;
+    }
+    Token name;
+    if (!next_identifier(body, pos, &name)) return;
+    std::size_t a2 = 0;
+    const char c = next_nonspace(body, name.end, &a2);
+    if (c != '(' && c != '{') return;
+    const std::size_t close =
+        c == '(' ? match_paren(body, a2) : match_brace(body, a2);
+    if (close == std::string_view::npos) return;
+    GuardDecl d;
+    d.offset = tok.begin;
+    d.line = line_of(e.stripped, f.body_begin + tok.begin);
+    d.keys = guard_keys(body.substr(a2 + 1, close - a2 - 1));
+    if (!d.keys.empty()) decls.push_back(std::move(d));
+  });
+  if (decls.empty()) return;
+
+  // Walk the body's brace structure; a guard's keys are held until its scope
+  // closes. A second guard on a held key is a self-deadlock.
+  struct Held {
+    std::string key;
+    std::size_t line;
+  };
+  std::vector<std::vector<Held>> scopes(1);
+  std::size_t next_decl = 0;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    while (next_decl < decls.size() && decls[next_decl].offset == i) {
+      const GuardDecl& d = decls[next_decl];
+      for (const std::string& key : d.keys) {
+        const Held* prior = nullptr;
+        for (const auto& scope : scopes) {
+          for (const Held& h : scope) {
+            if (h.key == key) prior = &h;
+          }
+        }
+        if (prior != nullptr) {
+          findings->push_back(Finding{
+              e.display_path, d.line, Rule::kLockDiscipline,
+              "'" + key + "' is already locked in this scope (guard at line " +
+                  std::to_string(prior->line) +
+                  "); locking it again self-deadlocks — std::mutex is not recursive",
+              line_excerpt(*e.contents, d.line)});
+        } else {
+          scopes.back().push_back(Held{key, d.line});
+        }
+      }
+      ++next_decl;
+    }
+    if (body[i] == '{') scopes.emplace_back();
+    if (body[i] == '}' && scopes.size() > 1) scopes.pop_back();
+  }
+}
+
+}  // namespace
+
+void check_lock_discipline(const TreeIndex& index, std::vector<Finding>* findings) {
+  for (const FileEntry& e : index.files) {
+    if (!has_segment(e.display_path, "src")) continue;
+    check_bare_lock_calls(e, findings);
+    for (const FuncDef& f : e.functions) {
+      if (f.has_body) check_double_lock(e, f, findings);
+    }
+  }
+}
+
+}  // namespace storsubsim::lint

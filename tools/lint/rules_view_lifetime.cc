@@ -1,0 +1,161 @@
+// view-lifetime: a view type (std::string_view / std::span / LogView /
+// ColumnView / EventView) must never outlive the buffer it points into. The
+// zero-alloc log pipeline and the mmap'd store hand out views aggressively;
+// this rule refuses the two escape patterns that turn them into dangling
+// pointers:
+//
+//   (a) a view-returning function whose return expression references a local
+//       owning buffer (or an owning parameter taken by value) — the buffer
+//       dies at the `}` while the view escapes;
+//   (b) a view-typed member assigned from an owning by-value parameter — the
+//       member outlives the call that owned the buffer.
+#include <algorithm>
+#include <set>
+
+#include "lint/index.h"
+#include "lint/scan.h"
+
+namespace storsubsim::lint {
+namespace {
+
+constexpr std::string_view kLocalOwners[] = {"string", "vector"};
+
+bool word_in(std::string_view text, std::string_view word) {
+  std::size_t at = 0;
+  while ((at = text.find(word, at)) != std::string_view::npos) {
+    const bool lb = at == 0 || !is_ident_char(text[at - 1]);
+    const bool rb =
+        at + word.size() >= text.size() || !is_ident_char(text[at + word.size()]);
+    if (lb && rb) return true;
+    at += word.size();
+  }
+  return false;
+}
+
+void add(const FileEntry& e, std::size_t line, std::string message,
+         std::vector<Finding>* findings) {
+  findings->push_back(Finding{e.display_path, line, Rule::kViewLifetime,
+                              std::move(message), line_excerpt(*e.contents, line)});
+}
+
+void check_view_returns(const FileEntry& e, const FuncDef& f,
+                        std::vector<Finding>* findings) {
+  const std::string_view code = e.stripped.code;
+  const std::string_view body =
+      code.substr(f.body_begin, f.body_end - f.body_begin + 1);
+
+  // The buffers that die when this function returns: owning by-value
+  // parameters plus owning locals declared in the body.
+  std::vector<std::string> dying;
+  for (const Param& p : f.params) {
+    if (p.owning_by_value && !p.name.empty()) dying.push_back(p.name);
+  }
+  for_each_identifier(body, [&](const Token& tok) {
+    if (std::find(std::begin(kLocalOwners), std::end(kLocalOwners), tok.text) ==
+        std::end(kLocalOwners)) {
+      return;
+    }
+    if (is_member_access(body, tok)) return;
+    std::size_t pos = tok.end;
+    std::size_t at = 0;
+    if (next_nonspace(body, pos, &at) == '<') {
+      pos = skip_angles(body, at);
+      if (pos == std::string_view::npos) return;
+    }
+    Token name;
+    if (!next_identifier(body, pos, &name)) return;
+    const char after = next_nonspace(body, name.end);
+    if (after == ';' || after == '=' || after == '(' || after == '{') {
+      dying.push_back(std::string(name.text));
+    }
+  });
+  if (dying.empty()) return;
+
+  std::set<std::size_t> flagged;  // one finding per return statement
+  for_each_identifier(body, [&](const Token& tok) {
+    if (tok.text != "return") return;
+    const std::size_t semi = body.find(';', tok.end);
+    if (semi == std::string_view::npos) return;
+    const std::string_view expr = body.substr(tok.end, semi - tok.end);
+    for_each_identifier(expr, [&](const Token& rt) {
+      if (is_member_access(expr, rt)) return;  // .data() etc. — owner counted at its own token
+      if (std::find(dying.begin(), dying.end(), rt.text) == dying.end()) return;
+      const std::size_t line = line_of(e.stripped, f.body_begin + tok.begin);
+      if (!flagged.insert(line).second) return;
+      add(e, line,
+          "'" + f.name + "' returns a view backed by '" + std::string(rt.text) +
+              "', an owning buffer that dies when the function returns; return an "
+              "owning type or take the buffer by reference from the caller",
+          findings);
+    });
+  });
+}
+
+void check_member_stores(const TreeIndex& index, const FileEntry& e,
+                         const FuncDef& f, std::vector<Finding>* findings) {
+  std::vector<const Param*> owning;
+  for (const Param& p : f.params) {
+    if (p.owning_by_value && !p.name.empty()) owning.push_back(&p);
+  }
+  if (owning.empty()) return;
+  auto is_view_member = [&](std::string_view name) {
+    return std::binary_search(index.view_members.begin(), index.view_members.end(),
+                              std::string(name));
+  };
+
+  for (const auto& [member, arg] : f.ctor_inits) {
+    if (!is_view_member(member)) continue;
+    for (const Param* p : owning) {
+      if (!word_in(arg, p->name)) continue;
+      add(e, f.line,
+          "constructor stores a view of by-value parameter '" + p->name +
+              "' into member '" + member +
+              "'; the parameter's buffer dies when the constructor returns — store "
+              "an owning copy or take a caller-owned reference",
+          findings);
+    }
+  }
+
+  if (!f.has_body) return;
+  const std::string_view code = e.stripped.code;
+  const std::string_view body =
+      code.substr(f.body_begin, f.body_end - f.body_begin + 1);
+  for_each_identifier(body, [&](const Token& tok) {
+    if (!is_view_member(tok.text)) return;
+    std::size_t at = 0;
+    if (next_nonspace(body, tok.end, &at) != '=') return;
+    if (at + 1 < body.size() && body[at + 1] == '=') return;  // comparison
+    std::size_t prev_at = 0;
+    const char prev = prev_nonspace(body, tok.begin, &prev_at);
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') return;
+    const std::size_t semi = body.find(';', at);
+    if (semi == std::string_view::npos) return;
+    const std::string_view rhs = body.substr(at + 1, semi - at - 1);
+    for (const Param* p : owning) {
+      if (!word_in(rhs, p->name)) continue;
+      const std::size_t line = line_of(e.stripped, f.body_begin + tok.begin);
+      add(e, line,
+          "view member '" + std::string(tok.text) +
+              "' is assigned from by-value parameter '" + p->name +
+              "', whose buffer dies when '" + f.name +
+              "' returns; store an owning copy or take a caller-owned reference",
+          findings);
+    }
+  });
+}
+
+}  // namespace
+
+void check_view_lifetime(const TreeIndex& index, std::vector<Finding>* findings) {
+  for (const FileEntry& e : index.files) {
+    if (!has_segment(e.display_path, "src")) continue;
+    for (const FuncDef& f : e.functions) {
+      if (f.ret == TypeCategory::kView && f.has_body) {
+        check_view_returns(e, f, findings);
+      }
+      check_member_stores(index, e, f, findings);
+    }
+  }
+}
+
+}  // namespace storsubsim::lint

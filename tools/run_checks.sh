@@ -8,7 +8,8 @@
 #      + the StorsimLint.TreeIsClean gate)
 #   3. storsim_lint --check over src/ bench/ tests/ (redundant with the ctest
 #      gate, but run standalone so its report is printed even when ctest is
-#      filtered down with extra args)
+#      filtered down with extra args); also emits build/lint-report.json,
+#      the --format=json report CI consumes
 #   4. pipeline_throughput smoke at --scale=0.05: asserts the fast log path
 #      and the legacy baseline stay byte-identical (speedups are measured at
 #      full scale separately; see docs/performance.md)
@@ -42,7 +43,12 @@ echo "== [2/8] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
 echo "== [3/8] storsim_lint =="
+# Emit the machine-readable report first (it must exist even when the gate
+# below fails, so CI can surface the findings), then run the human gate.
+./build/tools/storsim_lint --format=json --root . src bench tests \
+  > build/lint-report.json || true
 ./build/tools/storsim_lint --check --root . src bench tests
+echo "machine-readable report: build/lint-report.json"
 
 echo "== [4/8] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \

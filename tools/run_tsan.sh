@@ -1,3 +1,6 @@
 #!/usr/bin/env sh
-# Back-compat shim: the sanitizer runners were unified into run_sanitizer.sh.
+# DEPRECATED: the sanitizer runners were unified into run_sanitizer.sh; call
+#   tools/run_sanitizer.sh tsan [extra ctest args...]
+# directly. This shim survives for old muscle memory / scripts only.
+echo "run_tsan.sh is deprecated; use: tools/run_sanitizer.sh tsan" >&2
 exec "$(dirname "$0")/run_sanitizer.sh" tsan "$@"
