@@ -3,6 +3,7 @@
 #include <map>
 
 #include "obs/obs.h"
+#include "store/decode.h"
 
 namespace storsubsim::store {
 
@@ -54,16 +55,41 @@ struct QueryAccumulators {
   std::map<char, GroupCounts> by_family;                 // GroupBy::kDiskFamily
 };
 
-/// The block-pruned scan of one store, accumulating into `acc`/`stats`.
+/// Fixed-size selection-bitmap scratch, reused across every block of a scan.
+/// open() rejects blocks larger than kBlockRows, so bitmap_words(kBlockRows)
+/// words always suffice — no per-block allocation on the hot path.
+struct ScanScratch {
+  static constexpr std::size_t kWords = bitmap_words(kBlockRows);
+  std::array<std::uint64_t, kWords> select;  ///< rows passing every predicate
+  std::array<std::uint64_t, kWords> mask;    ///< per-predicate temporary
+  std::array<std::array<std::uint64_t, kWords>, kFailureTypeCount> type_masks;
+};
+
+/// The block-pruned scan of one store: prune via the time-window index,
+/// build the block's selection bitmap with the decode.h predicate kernels,
+/// then aggregate group counts straight from bitmap popcounts — no row is
+/// ever materialized.
 void scan_store(const EventStore& store, const Query& query, QueryAccumulators& acc,
-                QueryStats& stats) {
+                QueryStats& stats, ScanScratch& scratch) {
+  const bool have_begin = query.time_begin.has_value();
+  const bool have_end = query.time_end.has_value();
+  const double time_begin = have_begin ? *query.time_begin : 0.0;
+  const double time_end = have_end ? *query.time_end : 0.0;
+  const std::uint8_t type_values[kFailureTypeCount] = {0, 1, 2, 3};
+  // Family group-by candidates: exposure-table families are the only groups
+  // emit_groups ever reports, and every legitimately written event family
+  // appears there (events reference inventory disks). A hostile family byte
+  // outside the table was never emitted by the row loop either.
+  const auto& family_years = store.exposure().family_disk_years;
+
   for (const auto cls : model::kAllSystemClasses) {
     if (query.system_class.has_value() && *query.system_class != cls) continue;
     const EventView& view = store.events(cls);
+    GroupCounts& class_group = acc.by_class[model::index_of(cls)];
 
     for (const auto& block : store.blocks(cls)) {
-      if ((query.time_begin.has_value() && block.time_max < *query.time_begin) ||
-          (query.time_end.has_value() && block.time_min >= *query.time_end)) {
+      if ((have_begin && block.time_max < time_begin) ||
+          (have_end && block.time_min >= time_end)) {
         ++stats.blocks_pruned;
         continue;
       }
@@ -71,35 +97,86 @@ void scan_store(const EventStore& store, const Query& query, QueryAccumulators& 
       stats.rows_scanned += block.rows;
 
       const std::size_t begin = static_cast<std::size_t>(block.row_begin);
-      const std::size_t end = begin + static_cast<std::size_t>(block.rows);
-      for (std::size_t i = begin; i < end; ++i) {
-        if (query.time_begin.has_value() && view.time[i] < *query.time_begin) continue;
-        if (query.time_end.has_value() && view.time[i] >= *query.time_end) continue;
-        const std::uint8_t type = view.type[i];
-        if (query.failure_type.has_value() &&
-            static_cast<std::uint8_t>(*query.failure_type) != type) {
-          continue;
-        }
-        const char family = static_cast<char>(view.family[i]);
-        if (query.disk_family.has_value() && *query.disk_family != family) continue;
+      const std::size_t rows = static_cast<std::size_t>(block.rows);
+      const std::size_t words = bitmap_words(rows);
+      std::uint64_t* select = scratch.select.data();
+      std::uint64_t* mask = scratch.mask.data();
 
-        ++stats.rows_matched;
-        GroupCounts* group = &acc.all;
-        switch (query.group_by) {
-          case Query::GroupBy::kNone:
-            break;
-          case Query::GroupBy::kSystemClass:
-            group = &acc.by_class[model::index_of(cls)];
-            break;
-          case Query::GroupBy::kFailureType:
-            group = &acc.by_type[type];
-            break;
-          case Query::GroupBy::kDiskFamily:
-            group = &acc.by_family[family];
-            break;
-        }
-        ++group->events_by_type[type];
-        ++group->events;
+      if (have_begin || have_end) {
+        bitmap_time_window(view.time.data() + begin, rows, have_begin, time_begin,
+                           have_end, time_end, select);
+      } else {
+        bitmap_fill(select, rows);
+      }
+      if (query.failure_type.has_value()) {
+        bitmap_eq_u8(view.type.data() + begin, rows,
+                     static_cast<std::uint8_t>(*query.failure_type), mask);
+        bitmap_and(select, mask, words);
+      }
+      if (query.disk_family.has_value()) {
+        bitmap_eq_u8(view.family.data() + begin, rows,
+                     static_cast<std::uint8_t>(*query.disk_family), mask);
+        bitmap_and(select, mask, words);
+      }
+
+      // One pass over the type column yields all four per-type masks; the
+      // masks partition the block (open() validated type < kFailureTypeCount),
+      // so the per-type popcounts sum to the block's match count.
+      bitmap_eq4_u8(view.type.data() + begin, rows, type_values,
+                    scratch.type_masks[0].data(), scratch.type_masks[1].data(),
+                    scratch.type_masks[2].data(), scratch.type_masks[3].data());
+      std::array<std::uint64_t, kFailureTypeCount> counts{};
+      std::uint64_t matched = 0;
+      for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+        counts[t] = popcount_and(select, scratch.type_masks[t].data(), words);
+        matched += counts[t];
+      }
+      stats.rows_matched += matched;
+      if (matched == 0) continue;
+
+      switch (query.group_by) {
+        case Query::GroupBy::kNone:
+          for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+            acc.all.events_by_type[t] += counts[t];
+          }
+          acc.all.events += matched;
+          break;
+        case Query::GroupBy::kSystemClass:
+          for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+            class_group.events_by_type[t] += counts[t];
+          }
+          class_group.events += matched;
+          break;
+        case Query::GroupBy::kFailureType:
+          for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+            acc.by_type[t].events_by_type[t] += counts[t];
+            acc.by_type[t].events += counts[t];
+          }
+          break;
+        case Query::GroupBy::kDiskFamily:
+          for (const auto& [family, years] : family_years) {
+            if (query.disk_family.has_value() && *query.disk_family != family) {
+              continue;
+            }
+            bitmap_eq_u8(view.family.data() + begin, rows,
+                         static_cast<std::uint8_t>(family), mask);
+            bitmap_and(mask, select, words);
+            std::uint64_t family_total = 0;
+            std::array<std::uint64_t, kFailureTypeCount> family_counts{};
+            for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+              family_counts[t] =
+                  popcount_and(mask, scratch.type_masks[t].data(), words);
+              family_total += family_counts[t];
+            }
+            if (family_total == 0) continue;
+            GroupCounts& group = acc.by_family[family];
+            for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+              group.events_by_type[t] += family_counts[t];
+            }
+            group.events += family_total;
+            (void)years;
+          }
+          break;
       }
     }
   }
@@ -187,7 +264,8 @@ QueryResult run_query(const EventStore& store, const Query& query) {
   obs::Span span("store.query");
   QueryResult result;
   QueryAccumulators acc;
-  scan_store(store, query, acc, result.stats);
+  ScanScratch scratch;
+  scan_store(store, query, acc, result.stats, scratch);
   emit_groups(store.exposure(), query, acc, result);
   emit_query_counters(result.stats);
   return result;
@@ -197,12 +275,13 @@ Error run_query(ShardStore& store, const Query& query, QueryResult* result) {
   obs::Span span("store.query_shards");
   QueryResult out;
   QueryAccumulators acc;
+  ScanScratch scratch;
   // One shard at a time: lazy open (mmap + validation on first touch), then
   // the identical block-pruned scan. Counts are integers, so shard order
   // cannot affect the totals.
   for (std::size_t i = 0; i < store.shard_count(); ++i) {
     if (Error err = store.ensure_open(i); !err.ok()) return err;
-    scan_store(store.shard(i), query, acc, out.stats);
+    scan_store(store.shard(i), query, acc, out.stats, scratch);
   }
   emit_groups(store.manifest().exposure, query, acc, out);
   emit_query_counters(out.stats);

@@ -1,8 +1,10 @@
 #include "store/reader.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "obs/obs.h"
+#include "store/decode.h"
 
 namespace storsubsim::store {
 
@@ -81,13 +83,6 @@ constexpr ColumnId kEventColumns[] = {
   std::string detail(what);
   detail.append(" (column ").append(column_name(id)).append(")");
   return make_error(code, detail, offset);
-}
-
-/// True for every value a u32 id column may hold given `limit` entities;
-/// `allow_invalid` admits Id::kInvalid (spares without a RAID group).
-bool id_in_domain(std::uint32_t v, std::uint64_t limit, bool allow_invalid) {
-  if (allow_invalid && v == 0xffffffffu) return true;
-  return v < limit;
 }
 
 }  // namespace
@@ -301,123 +296,133 @@ Error EventStore::load() {
   }
 
   // --- time decode (delta-zigzag-varint over f64 bit patterns) ---------------
-  for (std::size_t s = 0; s < kClassCount; ++s) {
-    const ColumnView& col =
-        columns_.at({static_cast<std::uint8_t>(s),
-                     static_cast<std::uint16_t>(ColumnId::kEventTime)});
-    auto& times = times_[s];
-    times.clear();
-    times.reserve(static_cast<std::size_t>(col.rows));
-    const char* p = col.data;
-    const char* end = col.data + col.size;
-    std::uint64_t prev_bits = 0;  // unsigned: wraparound on hostile input is defined
-    for (std::uint64_t row = 0; row < col.rows; ++row) {
-      std::uint64_t delta = 0;
-      const std::size_t consumed = decode_varint(p, end, &delta);
-      if (consumed == 0) {
-        return column_error(ErrorCode::kBadValue, "varint decode overran column",
+  // Block-granular: decode_time_block processes kBlockRows values per call
+  // (batch varint + fused zigzag prefix-sum) straight into the times_ arena
+  // through one reusable delta scratch buffer — no per-block allocation.
+  {
+    obs::Span decode_span("store.open.decode");
+    std::vector<std::uint64_t> delta_scratch(kBlockRows);
+    for (std::size_t s = 0; s < kClassCount; ++s) {
+      const ColumnView& col =
+          columns_.at({static_cast<std::uint8_t>(s),
+                       static_cast<std::uint16_t>(ColumnId::kEventTime)});
+      auto& times = times_[s];
+      times.assign(static_cast<std::size_t>(col.rows), 0.0);
+      const char* p = col.data;
+      const char* end = col.data + col.size;
+      std::uint64_t prev_bits = 0;  // unsigned: wraparound on hostile input is defined
+      std::uint64_t row = 0;
+      std::uint64_t blocks_decoded = 0;
+      while (row < col.rows) {
+        const std::size_t rows = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kBlockRows, col.rows - row));
+        const std::size_t consumed = decode_time_block(
+            p, end, rows, delta_scratch.data(), &prev_bits,
+            times.data() + static_cast<std::size_t>(row));
+        if (consumed == 0) {
+          return column_error(ErrorCode::kBadValue, "varint decode overran column",
+                              ColumnId::kEventTime);
+        }
+        p += consumed;
+        row += rows;
+        ++blocks_decoded;
+      }
+      if (p != end) {
+        return column_error(ErrorCode::kBadValue, "trailing bytes after varints",
                             ColumnId::kEventTime);
       }
-      p += consumed;
-      prev_bits += static_cast<std::uint64_t>(zigzag_decode(delta));
-      double t = 0.0;
-      std::memcpy(&t, &prev_bits, sizeof(t));
-      times.push_back(t);
-    }
-    if (p != end) {
-      return column_error(ErrorCode::kBadValue, "trailing bytes after varints",
-                          ColumnId::kEventTime);
+      STORSIM_OBS_COUNTER(c_blocks, "store.decode.blocks",
+                          ::storsubsim::obs::Stability::kDeterministic);
+      STORSIM_OBS_ADD(c_blocks, blocks_decoded);
+      STORSIM_OBS_COUNTER(c_rows, "store.decode.rows",
+                          ::storsubsim::obs::Stability::kDeterministic);
+      STORSIM_OBS_ADD(c_rows, col.rows);
     }
   }
 
   // --- value domain checks ---------------------------------------------------
   // After these, analyses may index inventory vectors with column values
-  // without bounds checks.
+  // without bounds checks. Whole-column kernel sweeps (decode.h): an id
+  // column is in domain iff every value is < the entity count (u32 ids may
+  // additionally be Id::kInvalid where spares are legal).
   auto event_col = [&](std::size_t s, ColumnId id) -> const ColumnView& {
     return columns_.at({static_cast<std::uint8_t>(s), static_cast<std::uint16_t>(id)});
   };
+  auto u8_in_domain = [](const ColumnView& col, std::uint8_t limit) {
+    const auto vals = col.as_u8();
+    return all_lt_u8(vals.data(), vals.size(), limit);
+  };
+  auto u32_col_in_domain = [](const ColumnView& col, std::uint64_t limit,
+                              bool allow_invalid) {
+    const auto vals = col.as_u32();
+    // Entity counts were validated against real column sizes above, so they
+    // fit u32 (ids are u32); clamp defensively for hostile headers.
+    const std::uint32_t lim = limit > 0xffffffffull
+                                  ? 0xffffffffu
+                                  : static_cast<std::uint32_t>(limit);
+    return all_ids_in_domain_u32(vals.data(), vals.size(), lim, allow_invalid);
+  };
   for (std::size_t s = 0; s < kClassCount; ++s) {
-    for (const auto v : event_col(s, ColumnId::kEventType).as_u8()) {
-      if (v >= kFailureTypeCount) {
-        return column_error(ErrorCode::kBadValue, "failure type out of domain",
-                            ColumnId::kEventType);
-      }
+    if (!u8_in_domain(event_col(s, ColumnId::kEventType), kFailureTypeCount)) {
+      return column_error(ErrorCode::kBadValue, "failure type out of domain",
+                          ColumnId::kEventType);
     }
-    for (const auto v : event_col(s, ColumnId::kEventDisk).as_u32()) {
-      if (!id_in_domain(v, header_.disk_count, false)) {
-        return column_error(ErrorCode::kBadValue, "disk id out of domain",
-                            ColumnId::kEventDisk);
-      }
+    if (!u32_col_in_domain(event_col(s, ColumnId::kEventDisk), header_.disk_count,
+                           false)) {
+      return column_error(ErrorCode::kBadValue, "disk id out of domain",
+                          ColumnId::kEventDisk);
     }
-    for (const auto v : event_col(s, ColumnId::kEventSystem).as_u32()) {
-      if (!id_in_domain(v, header_.system_count, false)) {
-        return column_error(ErrorCode::kBadValue, "system id out of domain",
-                            ColumnId::kEventSystem);
-      }
+    if (!u32_col_in_domain(event_col(s, ColumnId::kEventSystem),
+                           header_.system_count, false)) {
+      return column_error(ErrorCode::kBadValue, "system id out of domain",
+                          ColumnId::kEventSystem);
     }
-    for (const auto v : event_col(s, ColumnId::kEventShelf).as_u32()) {
-      if (!id_in_domain(v, header_.shelf_count, false)) {
-        return column_error(ErrorCode::kBadValue, "shelf id out of domain",
-                            ColumnId::kEventShelf);
-      }
+    if (!u32_col_in_domain(event_col(s, ColumnId::kEventShelf), header_.shelf_count,
+                           false)) {
+      return column_error(ErrorCode::kBadValue, "shelf id out of domain",
+                          ColumnId::kEventShelf);
     }
-    for (const auto v : event_col(s, ColumnId::kEventRaidGroup).as_u32()) {
-      if (!id_in_domain(v, header_.raid_group_count, true)) {
-        return column_error(ErrorCode::kBadValue, "raid group id out of domain",
-                            ColumnId::kEventRaidGroup);
-      }
+    if (!u32_col_in_domain(event_col(s, ColumnId::kEventRaidGroup),
+                           header_.raid_group_count, true)) {
+      return column_error(ErrorCode::kBadValue, "raid group id out of domain",
+                          ColumnId::kEventRaidGroup);
     }
   }
   auto topo = [&](ColumnId id) -> const ColumnView& {
     return columns_.at({kTopologyShard, static_cast<std::uint16_t>(id)});
   };
-  for (const auto v : topo(ColumnId::kSysClass).as_u8()) {
-    if (v >= kClassCount) {
-      return column_error(ErrorCode::kBadValue, "system class out of domain",
-                          ColumnId::kSysClass);
-    }
+  if (!u8_in_domain(topo(ColumnId::kSysClass), kClassCount)) {
+    return column_error(ErrorCode::kBadValue, "system class out of domain",
+                        ColumnId::kSysClass);
   }
-  for (const auto v : topo(ColumnId::kSysPaths).as_u8()) {
-    if (v >= 2) {
-      return column_error(ErrorCode::kBadValue, "path config out of domain",
-                          ColumnId::kSysPaths);
-    }
+  if (!u8_in_domain(topo(ColumnId::kSysPaths), 2)) {
+    return column_error(ErrorCode::kBadValue, "path config out of domain",
+                        ColumnId::kSysPaths);
   }
-  for (const auto v : topo(ColumnId::kShelfSystem).as_u32()) {
-    if (!id_in_domain(v, header_.system_count, false)) {
-      return column_error(ErrorCode::kBadValue, "shelf system out of domain",
-                          ColumnId::kShelfSystem);
-    }
+  if (!u32_col_in_domain(topo(ColumnId::kShelfSystem), header_.system_count, false)) {
+    return column_error(ErrorCode::kBadValue, "shelf system out of domain",
+                        ColumnId::kShelfSystem);
   }
-  for (const auto v : topo(ColumnId::kDiskSystem).as_u32()) {
-    if (!id_in_domain(v, header_.system_count, false)) {
-      return column_error(ErrorCode::kBadValue, "disk system out of domain",
-                          ColumnId::kDiskSystem);
-    }
+  if (!u32_col_in_domain(topo(ColumnId::kDiskSystem), header_.system_count, false)) {
+    return column_error(ErrorCode::kBadValue, "disk system out of domain",
+                        ColumnId::kDiskSystem);
   }
-  for (const auto v : topo(ColumnId::kDiskShelf).as_u32()) {
-    if (!id_in_domain(v, header_.shelf_count, false)) {
-      return column_error(ErrorCode::kBadValue, "disk shelf out of domain",
-                          ColumnId::kDiskShelf);
-    }
+  if (!u32_col_in_domain(topo(ColumnId::kDiskShelf), header_.shelf_count, false)) {
+    return column_error(ErrorCode::kBadValue, "disk shelf out of domain",
+                        ColumnId::kDiskShelf);
   }
-  for (const auto v : topo(ColumnId::kDiskRaidGroup).as_u32()) {
-    if (!id_in_domain(v, header_.raid_group_count, true)) {
-      return column_error(ErrorCode::kBadValue, "disk raid group out of domain",
-                          ColumnId::kDiskRaidGroup);
-    }
+  if (!u32_col_in_domain(topo(ColumnId::kDiskRaidGroup), header_.raid_group_count,
+                         true)) {
+    return column_error(ErrorCode::kBadValue, "disk raid group out of domain",
+                        ColumnId::kDiskRaidGroup);
   }
-  for (const auto v : topo(ColumnId::kRgSystem).as_u32()) {
-    if (!id_in_domain(v, header_.system_count, false)) {
-      return column_error(ErrorCode::kBadValue, "raid group system out of domain",
-                          ColumnId::kRgSystem);
-    }
+  if (!u32_col_in_domain(topo(ColumnId::kRgSystem), header_.system_count, false)) {
+    return column_error(ErrorCode::kBadValue, "raid group system out of domain",
+                        ColumnId::kRgSystem);
   }
-  for (const auto v : topo(ColumnId::kRgType).as_u8()) {
-    if (v >= 2) {
-      return column_error(ErrorCode::kBadValue, "raid type out of domain",
-                          ColumnId::kRgType);
-    }
+  if (!u8_in_domain(topo(ColumnId::kRgType), 2)) {
+    return column_error(ErrorCode::kBadValue, "raid type out of domain",
+                        ColumnId::kRgType);
   }
 
   // --- block index consistency -----------------------------------------------
@@ -436,6 +441,12 @@ Error EventStore::load() {
     const std::uint64_t rows = shard_rows[block.shard];
     if (block.rows == 0 || block.rows > rows || block.row_begin > rows - block.rows) {
       return make_error(ErrorCode::kBadFooter, "block range exceeds shard rows");
+    }
+    // Writer invariant: blocks never exceed the format block size. Enforcing
+    // it here lets the query engine size its selection-bitmap scratch at a
+    // fixed bitmap_words(kBlockRows) words.
+    if (block.rows > kBlockRows) {
+      return make_error(ErrorCode::kBadFooter, "block larger than format block size");
     }
   }
 

@@ -127,6 +127,15 @@ class EventStore {
     return it == columns_.end() ? nullptr : &it->second;
   }
 
+  /// A validated event column of one class shard, raw encoded bytes included
+  /// (decode benchmarks and kernel differential tests). Never nullptr for
+  /// the event columns format.h declares — open() verified their presence.
+  const ColumnView* event_column(model::SystemClass cls, ColumnId id) const noexcept {
+    const auto it = columns_.find({static_cast<std::uint8_t>(model::index_of(cls)),
+                                   static_cast<std::uint16_t>(id)});
+    return it == columns_.end() ? nullptr : &it->second;
+  }
+
   /// Reconstructs the full joined inventory from the topology columns.
   /// Entry i of each vector has dense id i, exactly as parse_snapshot
   /// produces, so a Dataset built from it matches the pipeline's.

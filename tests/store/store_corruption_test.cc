@@ -175,6 +175,49 @@ TEST(StoreCorruption, RandomSpanGarbageNeverCrashes) {
   }
 }
 
+TEST(StoreCorruption, ContinuationBitSweepReachesTheDecoderNotTheChecksum) {
+  // Setting continuation bits inside a time column desynchronises the varint
+  // stream. Unlike the blind bit flips above, this sweep re-seals the column
+  // and footer CRCs so checksum validation passes and the *decoder* is what
+  // has to cope: it must either produce a typed error or decode a stream
+  // that still parses — never UB (asan/ubsan audits this test).
+  store::EventStore probe;
+  ASSERT_TRUE(probe.open_image(base_image()).ok());
+  stats::Rng rng(314159);
+  for (const auto cls : model::kAllSystemClasses) {
+    const auto* col = probe.event_column(cls, store::ColumnId::kEventTime);
+    if (col == nullptr || col->size == 0) continue;
+    const std::size_t col_off = base_image().find(std::string(col->data, col->size));
+    ASSERT_NE(col_off, std::string::npos);
+    // Locate the directory entry via its stored offset (u64 at entry+12,
+    // CRC at entry+28 — the layout the golden test pins).
+    const std::uint64_t fo = store::read_u64(base_image().data() + 24);
+    std::string offset_le;
+    store::append_u64(offset_le, col_off);
+    const std::size_t entry_off =
+        base_image().find(offset_le, static_cast<std::size_t>(fo));
+    ASSERT_NE(entry_off, std::string::npos);
+
+    std::vector<std::size_t> positions = {col->size - 1};  // unterminated tail
+    for (int i = 0; i < 12; ++i) {
+      positions.push_back(static_cast<std::size_t>(rng.below(col->size)));
+    }
+    for (const auto pos : positions) {
+      std::string image = base_image();
+      image[col_off + pos] = static_cast<char>(
+          static_cast<unsigned char>(image[col_off + pos]) | 0x80u);
+      std::string crc_le;
+      store::append_u32(crc_le, store::crc32(image.data() + col_off, col->size));
+      image.replace(entry_off + 16, 4, crc_le);
+      std::string footer_crc_le;
+      store::append_u32(footer_crc_le,
+                        store::crc32(image.data() + fo, image.size() - fo - 4));
+      image.replace(image.size() - 4, 4, footer_crc_le);
+      open_and_exercise(std::move(image));
+    }
+  }
+}
+
 TEST(StoreCorruption, RandomTruncationPlusMutationNeverCrashes) {
   const std::string& image = base_image();
   stats::Rng rng(55);

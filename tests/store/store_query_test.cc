@@ -13,6 +13,7 @@
 #include "model/fleet_config.h"
 #include "model/time.h"
 #include "sim/params.h"
+#include "stats/rng.h"
 #include "store/query.h"
 #include "store/reader.h"
 #include "store/writer.h"
@@ -20,6 +21,7 @@
 namespace core = storsubsim::core;
 namespace model = storsubsim::model;
 namespace sim = storsubsim::sim;
+namespace stats = storsubsim::stats;
 namespace store = storsubsim::store;
 
 namespace {
@@ -190,6 +192,57 @@ TEST_F(StoreQuery, ImpossibleWindowPrunesEveryBlock) {
   }
   EXPECT_EQ(result.stats.blocks_pruned, total_blocks);
   ASSERT_GT(total_blocks, 0u);
+}
+
+TEST_F(StoreQuery, RandomizedQueriesMatchABruteForceRowScan) {
+  // Differential against a naive row loop over the store's own views: the
+  // bitmap scan (prune + predicate kernels + popcount aggregation) must give
+  // the same matched counts for arbitrary filter/window/group-by combos.
+  stats::Rng rng(20080808);
+  const char families[] = {'A', 'E', 'H', 'K', 'Z'};  // Z: absent from fleet
+  for (int round = 0; round < 60; ++round) {
+    store::Query query;
+    if (rng.below(2) == 0) {
+      query.failure_type = model::kAllFailureTypes[rng.below(4)];
+    }
+    if (rng.below(2) == 0) {
+      query.disk_family = families[rng.below(sizeof(families))];
+    }
+    if (rng.below(2) == 0) {
+      query.time_begin = rng.uniform(0.0, 900.0) * model::kSecondsPerDay;
+    }
+    if (rng.below(2) == 0) {
+      query.time_end = rng.uniform(0.0, 900.0) * model::kSecondsPerDay;
+    }
+    const store::Query::GroupBy group_bys[] = {
+        store::Query::GroupBy::kNone, store::Query::GroupBy::kSystemClass,
+        store::Query::GroupBy::kFailureType, store::Query::GroupBy::kDiskFamily};
+    query.group_by = group_bys[rng.below(4)];
+    const auto result = store::run_query(*store_, query);
+
+    std::uint64_t expected = 0;
+    for (const auto cls : model::kAllSystemClasses) {
+      const auto view = store_->events(cls);
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        if (query.failure_type &&
+            view.type[i] != static_cast<std::uint8_t>(
+                                model::index_of(*query.failure_type))) {
+          continue;
+        }
+        if (query.disk_family &&
+            view.family[i] != static_cast<std::uint8_t>(*query.disk_family)) {
+          continue;
+        }
+        if (query.time_begin && view.time[i] < *query.time_begin) continue;
+        if (query.time_end && view.time[i] >= *query.time_end) continue;
+        ++expected;
+      }
+    }
+    EXPECT_EQ(result.stats.rows_matched, expected) << "round " << round;
+    std::uint64_t grouped = 0;
+    for (const auto& g : result.groups) grouped += g.events;
+    EXPECT_EQ(grouped, expected) << "round " << round;
+  }
 }
 
 TEST_F(StoreQuery, FiltersCompose) {

@@ -4,7 +4,7 @@
 #   tools/run_checks.sh [extra ctest args...]
 #
 #   1. configure + build the default preset
-#   2. ctest (525 unit/integration tests + the storsim_lint fixture suite
+#   2. ctest (559 unit/integration tests + the storsim_lint fixture suite
 #      + the StorsimLint.TreeIsClean gate)
 #   3. storsim_lint --check over src/ bench/ tests/ (redundant with the ctest
 #      gate, but run standalone so its report is printed even when ctest is
@@ -27,7 +27,11 @@
 #      --max-rss-mb 256` must fit the budget the monolithic writer exceeds
 #      (~630 MiB on this fleet), and `analyze --input <shard-dir>` must print
 #      byte-identical reports to the single-file store from step 5
-#   8. clang-tidy over src/ when available (the container may not ship it;
+#   8. decode-kernel identity gate (docs/STORE.md): a second build configured
+#      with -DSTORSUBSIM_SIMD=OFF (scalar-only decode kernels) must produce
+#      byte-identical full-scale analyze reports to the default SIMD build —
+#      the wide kernels are an optimisation, never a semantic change
+#   9. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
@@ -35,14 +39,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/8] configure + build =="
+echo "== [1/9] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/8] ctest =="
+echo "== [2/9] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/8] storsim_lint =="
+echo "== [3/9] storsim_lint =="
 # Emit the machine-readable report first (it must exist even when the gate
 # below fails, so CI can surface the findings), then run the human gate.
 ./build/tools/storsim_lint --format=json --root . src bench tests \
@@ -50,11 +54,11 @@ echo "== [3/8] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 echo "machine-readable report: build/lint-report.json"
 
-echo "== [4/8] pipeline_throughput smoke =="
+echo "== [4/9] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
   --out=build/BENCH_pipeline_smoke.json
 
-echo "== [5/8] store round-trip (full scale) + corruption smoke =="
+echo "== [5/9] store round-trip (full scale) + corruption smoke =="
 ./build/bench/store_bench --scale=1.0 --repeat=1 \
   --store=build/BENCH_checks.store --out=build/BENCH_store_checks.json
 # Corrupt stores must be rejected, never crash: truncate one copy, flip a
@@ -71,7 +75,7 @@ for broken in build/BENCH_checks_truncated.store build/BENCH_checks_flipped.stor
 done
 echo "corrupted stores rejected with typed errors"
 
-echo "== [6/8] observability: byte identity + manifest + overhead =="
+echo "== [6/9] observability: byte identity + manifest + overhead =="
 # Byte identity at full scale: the store built in step 5 feeds the same
 # analyze invocation with the obs stack off and fully on. --input also
 # exercises the STORCOL1 magic sniffing path.
@@ -128,7 +132,7 @@ else
   echo "python3 unavailable; skipping the <2% overhead comparison"
 fi
 
-echo "== [7/8] sharded store: bounded-memory build + merged-answer identity =="
+echo "== [7/9] sharded store: bounded-memory build + merged-answer identity =="
 # Full-scale sharded build under a budget the monolithic writer exceeds
 # (step 5's single-file build peaks around 630 MiB on this fleet). The build
 # records its own peak RSS in the directory's build.manifest.json.
@@ -166,7 +170,24 @@ else
   echo "python3 unavailable; skipping the RSS-budget assertion"
 fi
 
-echo "== [8/8] clang-tidy =="
+echo "== [8/9] decode-kernel identity: scalar build vs SIMD build =="
+# A scalar-only build (-DSTORSUBSIM_SIMD=OFF) must answer the full-scale
+# analyze byte for byte like the default build: the wide kernels may only
+# change speed, never output. Reuses the step-5 store so both binaries read
+# the exact same bytes.
+cmake -S . -B build-scalar -DSTORSUBSIM_SIMD=OFF \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build-scalar --target storsubsim_cli -j "$(nproc)" > /dev/null
+for report in afr burstiness correlation; do
+  ./build/tools/storsubsim analyze --input build/BENCH_checks.store \
+    --report "$report" > "build/CHECK_simd_$report.txt"
+  ./build-scalar/tools/storsubsim analyze --input build/BENCH_checks.store \
+    --report "$report" > "build/CHECK_scalar_$report.txt"
+  cmp "build/CHECK_simd_$report.txt" "build/CHECK_scalar_$report.txt"
+done
+echo "scalar-kernel build byte-identical to the SIMD build (afr, burstiness, correlation)"
+
+echo "== [9/9] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.
