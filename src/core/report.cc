@@ -81,6 +81,18 @@ void TextTable::print_csv(std::ostream& out) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+std::string TextTable::to_text() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  print_csv(os);
+  return os.str();
+}
+
 std::string fmt(double value, int precision) {
   std::ostringstream os;
   os.precision(precision);

@@ -21,6 +21,12 @@ class TextTable {
   /// Renders as CSV (no alignment, comma-escaped).
   void print_csv(std::ostream& out) const;
 
+  /// print()/print_csv() captured into a string — the exact bytes the
+  /// stream renderers would emit. Used wherever a table must travel as a
+  /// value (the serve endpoints) while staying byte-identical to the CLI.
+  std::string to_text() const;
+  std::string to_csv() const;
+
   std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -1,0 +1,114 @@
+// storsimd: the long-lived query daemon behind `storsubsim serve`.
+//
+// One Daemon owns one read-only input — a monolithic STORCOL1 store or a
+// STORSHARD1 shard directory — mapped and validated once at start(), and a
+// unix-domain stream socket accepting any number of concurrent clients.
+// Each connection gets a thread that reads length-prefixed frames
+// (serve/protocol.h); request bodies execute on the daemon's util
+// thread pool and render through core/analysis_render.h, so every answer
+// is byte-identical to the offline `storsubsim analyze` / `store query`
+// output for the same input. Shard mappings are managed by a ShardLru
+// (--max-open-shards); query scans draw ScanScratch arenas from a reuse
+// pool, so the steady-state query path allocates nothing but the response
+// string.
+//
+// Shutdown is a drain: request_drain() (async-signal-safe — one byte down
+// a self-pipe) stops the accept loop, lets in-flight requests finish, and
+// serve() returns so the caller can flush manifests/traces. Connections
+// idle at a frame boundary are closed; a connection mid-request completes
+// that request first.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/shard_lru.h"
+#include "store/reader.h"
+#include "store/shards.h"
+#include "util/parallel.h"
+
+namespace storsubsim::serve {
+
+struct ServeOptions {
+  std::string input;        ///< store file or shard directory
+  std::string socket_path;  ///< unix socket to bind (replaced if stale)
+  std::size_t max_open_shards = 0;  ///< LRU cap; 0 = keep all shards mapped
+  unsigned threads = 0;             ///< pool size; 0 = util::thread_count()
+};
+
+/// Reusable pool of query-scan arenas. Warm requests pop an existing
+/// scratch instead of allocating 12 KiB of bitmaps per query.
+class ScratchPool {
+ public:
+  std::unique_ptr<store::ScanScratch> acquire();
+  void release(std::unique_ptr<store::ScanScratch> scratch);
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<store::ScanScratch>> free_;
+};
+
+class Daemon {
+ public:
+  Daemon() = default;
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Opens and validates the input (every shard is validated up front, then
+  /// the LRU trims to the cap), builds the thread pool, binds the socket.
+  [[nodiscard]] store::Error start(const ServeOptions& options);
+
+  /// Accepts connections until request_drain(); returns after every
+  /// connection thread has been joined and the socket unlinked. Call after
+  /// a successful start().
+  [[nodiscard]] store::Error serve();
+
+  /// Initiates a graceful drain. Async-signal-safe; callable from any
+  /// thread or from a signal handler (directly or via drain_signal_fd()).
+  void request_drain() noexcept;
+
+  /// The write end of the drain self-pipe: a signal handler writing one
+  /// byte here is equivalent to request_drain().
+  int drain_signal_fd() const noexcept { return drain_write_fd_; }
+
+  bool sharded() const noexcept { return sharded_; }
+  /// Non-null after start() on a shard directory (test introspection).
+  const ShardLru* lru() const noexcept { return lru_.get(); }
+
+  /// Computes the response body for one request body (exposed for the
+  /// in-process protocol tests; never throws).
+  std::string handle_request(std::string_view body);
+
+ private:
+  void close_fds() noexcept;
+  void connection_loop(int fd);
+  std::string dispatch(const Request& request);
+  std::string run_analysis(const Request& request);
+  std::string run_store_query(const Request& request);
+
+  ServeOptions options_;
+  bool sharded_ = false;
+  store::EventStore event_store_;
+  store::ShardStore shard_store_;
+  std::unique_ptr<ShardLru> lru_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  ScratchPool scratch_pool_;
+
+  int listen_fd_ = -1;
+  int drain_read_fd_ = -1;
+  int drain_write_fd_ = -1;
+  std::atomic<bool> draining_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace storsubsim::serve

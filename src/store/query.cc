@@ -9,11 +9,11 @@ namespace storsubsim::store {
 
 namespace {
 
-/// Counts accumulated for one group before labels/rates are attached.
-struct GroupCounts {
-  std::array<std::uint64_t, kFailureTypeCount> events_by_type{};
-  std::uint64_t events = 0;
-};
+/// The header spells kWords without decode.h; pin it to the kernel layer's
+/// own arithmetic.
+static_assert(ScanScratch::kWords == bitmap_words(kBlockRows));
+
+using GroupCounts = QueryGroupCounts;
 
 /// Disk-year denominator of a (class?, family?) cohort, from the exposure
 /// table. Missing combinations (no such cohort in the fleet) yield 0.
@@ -44,26 +44,6 @@ QueryGroup finalize(std::string label, const GroupCounts& counts, double disk_ye
   }
   return g;
 }
-
-/// Group accumulators shared by the single-store and sharded scans. All
-/// fields are integer counts, so accumulating several stores into one set
-/// of accumulators is exact and order-independent.
-struct QueryAccumulators {
-  GroupCounts all;                                       // GroupBy::kNone
-  std::array<GroupCounts, kClassCount> by_class{};       // GroupBy::kSystemClass
-  std::array<GroupCounts, kFailureTypeCount> by_type{};  // GroupBy::kFailureType
-  std::map<char, GroupCounts> by_family;                 // GroupBy::kDiskFamily
-};
-
-/// Fixed-size selection-bitmap scratch, reused across every block of a scan.
-/// open() rejects blocks larger than kBlockRows, so bitmap_words(kBlockRows)
-/// words always suffice — no per-block allocation on the hot path.
-struct ScanScratch {
-  static constexpr std::size_t kWords = bitmap_words(kBlockRows);
-  std::array<std::uint64_t, kWords> select;  ///< rows passing every predicate
-  std::array<std::uint64_t, kWords> mask;    ///< per-predicate temporary
-  std::array<std::array<std::uint64_t, kWords>, kFailureTypeCount> type_masks;
-};
 
 /// The block-pruned scan of one store: prune via the time-window index,
 /// build the block's selection bitmap with the decode.h predicate kernels,
@@ -260,32 +240,38 @@ void emit_groups(const ExposureTable& exposure, const Query& query,
 
 }  // namespace
 
-QueryResult run_query(const EventStore& store, const Query& query) {
-  obs::Span span("store.query");
+void QueryRun::scan(const EventStore& store) {
+  scan_store(store, query_, acc_, stats_, *scratch_);
+}
+
+QueryResult QueryRun::finish(const ExposureTable& exposure) {
   QueryResult result;
-  QueryAccumulators acc;
-  ScanScratch scratch;
-  scan_store(store, query, acc, result.stats, scratch);
-  emit_groups(store.exposure(), query, acc, result);
+  result.stats = stats_;
+  emit_groups(exposure, query_, acc_, result);
   emit_query_counters(result.stats);
   return result;
 }
 
+QueryResult run_query(const EventStore& store, const Query& query) {
+  obs::Span span("store.query");
+  ScanScratch scratch;
+  QueryRun run(query, &scratch);
+  run.scan(store);
+  return run.finish(store.exposure());
+}
+
 Error run_query(ShardStore& store, const Query& query, QueryResult* result) {
   obs::Span span("store.query_shards");
-  QueryResult out;
-  QueryAccumulators acc;
   ScanScratch scratch;
+  QueryRun run(query, &scratch);
   // One shard at a time: lazy open (mmap + validation on first touch), then
   // the identical block-pruned scan. Counts are integers, so shard order
   // cannot affect the totals.
   for (std::size_t i = 0; i < store.shard_count(); ++i) {
     if (Error err = store.ensure_open(i); !err.ok()) return err;
-    scan_store(store.shard(i), query, acc, out.stats, scratch);
+    run.scan(store.shard(i));
   }
-  emit_groups(store.manifest().exposure, query, acc, out);
-  emit_query_counters(out.stats);
-  *result = std::move(out);
+  *result = run.finish(store.manifest().exposure);
   return Error{};
 }
 

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,6 +62,61 @@ struct QueryStats {
 struct QueryResult {
   std::vector<QueryGroup> groups;
   QueryStats stats;
+};
+
+/// Fixed-size selection-bitmap scratch, reused across every block of a scan.
+/// open() rejects blocks larger than kBlockRows, so kWords words always
+/// suffice — no per-block allocation on the hot path. The arena shape a
+/// long-lived request handler wants: allocate once, run any number of
+/// queries through it (storsimd keeps a pool of these; docs/SERVE.md).
+struct ScanScratch {
+  /// bitmap_words(kBlockRows); spelled out so this header needs no decode.h.
+  static constexpr std::size_t kWords = (kBlockRows + 63) / 64;
+  std::array<std::uint64_t, kWords> select;  ///< rows passing every predicate
+  std::array<std::uint64_t, kWords> mask;    ///< per-predicate temporary
+  std::array<std::array<std::uint64_t, kWords>, kFailureTypeCount> type_masks;
+};
+
+/// Counts accumulated for one group before labels/rates are attached.
+struct QueryGroupCounts {
+  std::array<std::uint64_t, kFailureTypeCount> events_by_type{};
+  std::uint64_t events = 0;
+};
+
+/// Group accumulators shared by the single-store and sharded scans. All
+/// fields are integer counts, so accumulating several stores into one set
+/// of accumulators is exact and order-independent.
+struct QueryAccumulators {
+  QueryGroupCounts all;                                       // GroupBy::kNone
+  std::array<QueryGroupCounts, kClassCount> by_class{};       // GroupBy::kSystemClass
+  std::array<QueryGroupCounts, kFailureTypeCount> by_type{};  // GroupBy::kFailureType
+  std::map<char, QueryGroupCounts> by_family;                 // GroupBy::kDiskFamily
+};
+
+/// One query's incremental execution: scan any number of stores (shards),
+/// then finish against the merged exposure table. Both run_query overloads
+/// are thin wrappers around this; storsimd drives it directly so the LRU
+/// can pin/scan/release one shard at a time. The scratch is borrowed, not
+/// owned — the caller controls its lifetime (and reuse across requests).
+class QueryRun {
+ public:
+  /// `scratch` must outlive the run.
+  QueryRun(const Query& query, ScanScratch* scratch) noexcept
+      : query_(query), scratch_(scratch) {}
+
+  /// Accumulates one store's matching rows. Callable repeatedly; shard
+  /// order cannot affect the totals (integer sums).
+  void scan(const EventStore& store);
+
+  /// Labels the accumulated counts, attaches rates from `exposure`, and
+  /// records the scan counters. Call once, after the last scan().
+  [[nodiscard]] QueryResult finish(const ExposureTable& exposure);
+
+ private:
+  Query query_;
+  ScanScratch* scratch_;
+  QueryAccumulators acc_;
+  QueryStats stats_;
 };
 
 QueryResult run_query(const EventStore& store, const Query& query);

@@ -696,11 +696,24 @@ Error ShardStore::open(const std::string& dir) {
 Error ShardStore::ensure_open(std::size_t i) const {
   if (shards_[i] != nullptr) return Error{};
   auto store = std::make_unique<EventStore>();
-  if (Error err = store->open(shard_path(dir_, manifest_.shards[i].file)); !err.ok()) {
-    return err;
+  const std::string path = shard_path(dir_, manifest_.shards[i].file);
+  if (Error err = store->open(path); !err.ok()) {
+    // Lazy validation fails long after open(); name the shard so the error
+    // points at the file to inspect, keeping the code and offset intact.
+    std::string detail("shard ");
+    detail.append(path).append(": ").append(err.detail);
+    return make_error(err.code, detail, err.offset);
   }
   shards_[i] = std::move(store);
   return Error{};
+}
+
+std::size_t ShardStore::open_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    if (shard != nullptr) ++n;
+  }
+  return n;
 }
 
 Error ShardStore::open_all() const {
@@ -711,12 +724,9 @@ Error ShardStore::open_all() const {
 }
 
 const EventStore& ShardStore::shard_checked(std::size_t i) const {
+  // ensure_open already names the failing shard's path in the error detail.
   if (Error err = ensure_open(i); !err.ok()) {
-    std::string what = "shard ";
-    what += manifest_.shards[i].file;
-    what += ": ";
-    what += err.describe();
-    throw std::runtime_error(what);
+    throw std::runtime_error(err.describe());
   }
   return *shards_[i];
 }

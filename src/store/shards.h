@@ -135,8 +135,21 @@ class ShardStore {
 
   /// Fully opens shard i if it is not open yet. Const because lazy opening
   /// is a caching concern: the observable directory contents never change.
+  /// A shard failing validation on first touch reports its path in the
+  /// typed error, so a mid-analysis failure names the offending file.
   [[nodiscard]] Error ensure_open(std::size_t i) const;
   bool is_open(std::size_t i) const noexcept { return shards_[i] != nullptr; }
+  /// Shards currently held open (mmap + validated).
+  std::size_t open_count() const noexcept;
+
+  // --- explicit open/close hooks (the storsimd shard LRU drives these) -----
+  /// ensure_open under its cache-management name: maps + fully validates
+  /// shard i, or returns the typed error naming the shard file.
+  [[nodiscard]] Error open_shard(std::size_t i) const { return ensure_open(i); }
+  /// Drops shard i's mapping (a later open_shard revalidates and remaps).
+  /// The caller must guarantee no live views into the shard — serve::ShardLru
+  /// only releases shards whose pin count is zero.
+  void release_shard(std::size_t i) const noexcept { shards_[i].reset(); }
   /// Requires a successful ensure_open(i) / open_all().
   const EventStore& shard(std::size_t i) const noexcept { return *shards_[i]; }
   /// Lazily opens and returns shard i, throwing std::runtime_error if the

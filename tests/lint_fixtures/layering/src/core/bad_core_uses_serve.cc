@@ -1,0 +1,7 @@
+// Fixture: a core-layer file reaching UP the DAG into serve. core's closure
+// is {sim, store, stats, log, model, obs, util} — serve sits above it, so
+// this include is one layering finding.
+#include "serve/protocol.h"
+#include "store/query.h"
+
+int core_layer_probe() { return 0; }

@@ -1,0 +1,8 @@
+// Fixture: serve sits at the top of the DAG (direct: core), so its closure
+// reaches every layer below — core, store, and obs are all legal includes.
+// Zero findings.
+#include "core/analysis_render.h"
+#include "obs/span.h"
+#include "store/query.h"
+
+int serve_layer_clean_probe() { return 0; }

@@ -1,0 +1,27 @@
+// Fixture: the alloc-hotpath and timer-discipline rules cover src/serve/ —
+// the daemon's request path renders every response, so stream objects,
+// std::to_string temporaries, literal concatenation and raw clock reads are
+// banned there exactly as in src/store.
+#include <chrono>
+#include <sstream>
+#include <string>
+
+namespace storsubsim::serve {
+
+std::string render_qps_slow(int qps) {
+  std::ostringstream os;                         // alloc-hotpath
+  os << "qps " << qps;
+  return os.str();
+}
+
+std::string label_slow(unsigned long requests) {
+  return "served " + std::to_string(requests);   // alloc-hotpath x2
+}
+
+double request_seconds_slow() {
+  const auto t0 = std::chrono::steady_clock::now();  // timer + nondeterminism
+  (void)t0;
+  return 0.0;
+}
+
+}  // namespace storsubsim::serve

@@ -1,0 +1,23 @@
+// Fixture: the serve request-path idiom — append/to_chars rendering into a
+// reused buffer, obs::Span for timing. Zero findings.
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+#include "obs/span.h"
+
+namespace storsubsim::serve {
+
+void append_count(std::string& out, std::uint64_t n) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), n);
+  out.append("count=").append(buf, res.ptr);
+}
+
+double timed_response(std::string& out) {
+  obs::Span span("serve.fixture");
+  append_count(out, 1);
+  return span.stop();
+}
+
+}  // namespace storsubsim::serve

@@ -308,6 +308,32 @@ TEST_F(ShardEquivalence, SourceReportsTheShardBackend) {
   EXPECT_EQ(visited, 3);
 }
 
+// The storsimd LRU drives the cache through open_shard/release_shard; the
+// round trip must be lossless — a released shard reopens to the same view
+// and the open_count bookkeeping tracks exactly the mapped set.
+TEST_F(ShardEquivalence, OpenShardReleaseShardRoundTrip) {
+  store::ShardStore local;
+  ASSERT_TRUE(local.open(*dir_).ok());
+  EXPECT_EQ(local.open_count(), 0u);  // open() maps nothing
+
+  ASSERT_TRUE(local.open_shard(1).ok());
+  EXPECT_TRUE(local.is_open(1));
+  EXPECT_FALSE(local.is_open(0));
+  EXPECT_EQ(local.open_count(), 1u);
+  const std::uint64_t events = local.shard(1).event_count();
+
+  local.release_shard(1);
+  EXPECT_FALSE(local.is_open(1));
+  EXPECT_EQ(local.open_count(), 0u);
+  local.release_shard(1);  // releasing an already-closed shard is a no-op
+  EXPECT_EQ(local.open_count(), 0u);
+
+  ASSERT_TRUE(local.open_shard(1).ok());  // revalidates and remaps
+  EXPECT_EQ(local.shard(1).event_count(), events);
+  ASSERT_TRUE(local.open_shard(1).ok());  // idempotent while mapped
+  EXPECT_EQ(local.open_count(), 1u);
+}
+
 // The sharded writer fans shards across the pool into disjoint slots; the
 // directory must come out byte-identical for every thread count.
 TEST(ShardedBuildThreadInvariance, DirectoryBytesIdenticalAcrossThreadCounts) {
@@ -526,4 +552,27 @@ TEST_F(ShardCorruption, ShardBodyCorruptionIsCaughtOnFirstAccess) {
     }
   }
   EXPECT_GT(caught, 0u);  // the column/footer CRCs must actually bite
+}
+
+// Regression: a shard failing lazy validation must name the offending file
+// in the error detail. A mid-analysis failure over a directory of dozens of
+// shards is undebuggable when the error says only "bad CRC".
+TEST_F(ShardCorruption, LazyValidationErrorNamesTheShardPath) {
+  std::size_t named = 0;
+  const std::size_t size = shard0_bytes_->size();
+  for (const std::size_t pos : {store::kHeaderSize + 1, size / 3, size / 2,
+                                2 * size / 3, size - 16}) {
+    std::string mutated = *shard0_bytes_;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5a);
+    write_file(*shard0_path_, mutated);
+
+    store::ShardStore shards;
+    if (!shards.open(*dir_).ok()) continue;  // caught by the cheap checks
+    const auto err = shards.ensure_open(0);
+    if (err.ok()) continue;  // landed in padding no invariant covers
+    EXPECT_NE(err.detail.find("shard-0000.store"), std::string::npos)
+        << "pos " << pos << ": " << err.describe();
+    ++named;
+  }
+  EXPECT_GT(named, 0u);  // at least one flip must reach lazy validation
 }

@@ -1,9 +1,11 @@
 // End-to-end test of the storsubsim CLI binary: simulate writes log +
 // snapshot files, analyze and predict consume them. Exercises the file-based
 // path (everything else in the suite uses in-memory streams).
+#include <sys/types.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -247,6 +249,70 @@ TEST(CliStoreErrors, CorruptAndMissingStoresRejected) {
   EXPECT_NE(run_cli("store stats --store " + bogus).first, 0);
   EXPECT_NE(run_cli("analyze --store " + bogus + " --report afr").first, 0);
   std::remove(bogus.c_str());
+}
+
+// End-to-end storsimd: `serve` a store in the background, drive it with
+// `client`, check byte-identity against offline `analyze`, then SIGTERM it
+// and verify a clean drain (socket unlinked).
+TEST_F(CliTest, ServeAnswersClientIdenticallyToAnalyzeThenDrains) {
+  const std::string store_path = temp_path("cli_serve.store");
+  {
+    const auto [status, out] = run_cli("store build --out " + store_path + " --logs " +
+                                       logs_path_ + " --snapshot " + snap_path_);
+    ASSERT_EQ(status, 0) << out;
+  }
+  const std::string sock_path = temp_path("cli_serve.sock");
+  const std::string pid_path = temp_path("cli_serve.pid");
+  ASSERT_EQ(std::system((std::string(STORSUBSIM_CLI_PATH) + " serve --input " +
+                         store_path + " --socket " + sock_path +
+                         " >/dev/null 2>&1 & echo $! > " + pid_path)
+                            .c_str()),
+            0);
+  pid_t daemon_pid = 0;
+  {
+    std::ifstream in(pid_path);
+    in >> daemon_pid;
+    ASSERT_GT(daemon_pid, 0);
+  }
+  // start() binds before serve() accepts, so the socket appearing means the
+  // daemon is ready. 5 s ceiling; typical startup is a few ms.
+  for (int i = 0; i < 500 && ::access(sock_path.c_str(), F_OK) != 0; ++i) {
+    ::usleep(10 * 1000);
+  }
+  ASSERT_EQ(::access(sock_path.c_str(), F_OK), 0) << "daemon never bound";
+
+  const struct {
+    const char* endpoint;
+    const char* report;  // the offline `analyze --report` spelling
+  } pairs[] = {{"afr", "afr-total"},
+               {"afr_by_class", "afr"},
+               {"tbf", "burstiness"},
+               {"correlation", "correlation"},
+               {"lifetime", "lifetime"}};
+  for (const auto& p : pairs) {
+    const auto offline =
+        run_cli("analyze --store " + store_path + " --report " + p.report);
+    const auto served =
+        run_cli("client --socket " + sock_path + " --endpoint " + p.endpoint);
+    EXPECT_EQ(served.first, 0) << p.endpoint;
+    EXPECT_EQ(served.second, offline.second) << p.endpoint;
+  }
+  {
+    const auto offline = run_cli("store query --store " + store_path +
+                                 " --group-by class --csv");
+    const auto served = run_cli("client --socket " + sock_path +
+                                " --endpoint query --group-by class --csv");
+    EXPECT_EQ(served.first, 0);
+    EXPECT_EQ(served.second, offline.second);
+  }
+
+  ASSERT_EQ(::kill(daemon_pid, SIGTERM), 0);
+  for (int i = 0; i < 500 && ::access(sock_path.c_str(), F_OK) == 0; ++i) {
+    ::usleep(10 * 1000);
+  }
+  EXPECT_NE(::access(sock_path.c_str(), F_OK), 0) << "socket leaked after drain";
+  std::remove(store_path.c_str());
+  std::remove(pid_path.c_str());
 }
 
 TEST(CliUsage, BadInvocationsFail) {

@@ -256,6 +256,20 @@ TEST(AllocHotpathRule, ToCharsAppendIdiomIsClean) {
   EXPECT_TRUE(lint_fixture("src/store/clean_columnar.cc").findings.empty());
 }
 
+TEST(AllocHotpathRule, CoversTheServeLayer) {
+  const auto report = lint_fixture("src/serve/bad_serve_hotpath.cc");
+  EXPECT_EQ(count_rule(report, lint::Rule::kAllocHotpath), 3u);
+  // The same fixture exercises the serve scoping of timer-discipline: the
+  // <chrono> include and the std::chrono:: use are timer findings, the raw
+  // steady_clock read is independently nondeterminism.
+  EXPECT_EQ(count_rule(report, lint::Rule::kTimerDiscipline), 2u);
+  EXPECT_EQ(count_rule(report, lint::Rule::kNondeterminism), 1u);
+}
+
+TEST(AllocHotpathRule, ServeAppendSpanIdiomIsClean) {
+  EXPECT_TRUE(lint_fixture("src/serve/clean_serve_hotpath.cc").findings.empty());
+}
+
 TEST(AllocHotpathRule, ProjectToStringOverloadsAreNotFlagged) {
   // The log layer's own to_string(Severity) must not be confused with
   // std::to_string — only the std-qualified call allocates a temporary.
@@ -277,6 +291,7 @@ TEST(AllocHotpathRule, ScopedToLogLayerAndPipelineOnly) {
   EXPECT_EQ(lint::lint_source("src/core/pipeline.cc", snippet).findings.size(), 1u);
   EXPECT_EQ(lint::lint_source("src/store/writer.cc", snippet).findings.size(), 1u);
   EXPECT_EQ(lint::lint_source("src/store/reader.cc", snippet).findings.size(), 1u);
+  EXPECT_EQ(lint::lint_source("src/serve/daemon.cc", snippet).findings.size(), 1u);
   EXPECT_TRUE(lint::lint_source("src/core/afr.cc", snippet).findings.empty())
       << "cold analysis code may use streams";
   EXPECT_TRUE(lint::lint_source("bench/parallel_baseline.cc", snippet).findings.empty())
@@ -396,7 +411,7 @@ TEST(Cli, ExitsNonzeroOnEveryViolatingFixture) {
   for (const char* bad : {"src/bad_nondeterminism.cc", "src/bad_unordered_iter.cc",
                           "src/bad_rng_discipline.cc", "src/bad_suppression.cc",
                           "src/log/bad_alloc_hotpath.cc", "src/store/bad_alloc_store.cc",
-                          "src/sim/bad_timer_discipline.cc",
+                          "src/sim/bad_timer_discipline.cc", "src/serve/bad_serve_hotpath.cc",
                           "include/bad_missing_guard.h", "include/bad_using_namespace.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(bad)), 1) << bad;
   }
@@ -407,7 +422,8 @@ TEST(Cli, ExitsZeroOnCleanFixtures) {
        {"src/clean_deterministic.cc", "src/clean_unordered_lookup.cc",
         "src/allowed_unordered_iter.cc", "src/log/clean_linewriter.cc",
         "src/store/clean_columnar.cc", "src/sim/clean_span_timing.cc",
-        "bench/timing_uses_clock.cc", "include/clean_header.h"}) {
+        "src/serve/clean_serve_hotpath.cc", "bench/timing_uses_clock.cc",
+        "include/clean_header.h"}) {
     EXPECT_EQ(run_cli("--check " + fixture_path(good)), 0) << good;
   }
 }
@@ -490,6 +506,20 @@ TEST(LayeringRule, FlagsIncludesOutsideTheDeclaredClosure) {
 TEST(LayeringRule, ClosureIncludesAreClean) {
   const auto report = lint_fixture_tree({"layering/src/store/clean_store_layer.cc"});
   EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
+TEST(LayeringRule, ServeClosureReachesEveryLayerBelow) {
+  const auto report = lint_fixture_tree({"layering/src/serve/clean_serve_layer.cc"});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
+TEST(LayeringRule, CoreMustNotReachUpIntoServe) {
+  const auto report = lint_fixture_tree({"layering/src/core/bad_core_uses_serve.cc"});
+  EXPECT_EQ(count_rule(report, lint::Rule::kLayering), 1u)
+      << lint::render_json_report(report);
+  EXPECT_TRUE(any_finding_contains(report, "breaks the layering DAG"));
+  EXPECT_FALSE(any_finding_contains(report, "store/query.h"))
+      << "store is inside core's closure and must not be flagged";
 }
 
 TEST(LayeringRule, ReportsTheFullThreeHeaderCycle) {

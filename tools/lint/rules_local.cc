@@ -84,6 +84,7 @@ class FileLinter {
     if (is_header(path_)) check_header_hygiene();
     const bool in_log_hotpath = (in_src && has_segment(path_, "log")) ||
                                 (in_src && has_segment(path_, "store")) ||
+                                (in_src && has_segment(path_, "serve")) ||
                                 ends_with_path(path_, "src/core/pipeline.cc") ||
                                 ends_with_path(path_, "src/core/sharded_build.cc");
     if (in_log_hotpath) check_alloc_hotpath();
@@ -92,7 +93,7 @@ class FileLinter {
     // the single steady_clock call site and is exempt.
     const bool timer_scoped = in_src && !has_segment(path_, "obs") &&
                               (has_segment(path_, "sim") || has_segment(path_, "log") ||
-                               has_segment(path_, "store") ||
+                               has_segment(path_, "store") || has_segment(path_, "serve") ||
                                ends_with_path(path_, "src/core/sharded_build.cc"));
     if (timer_scoped) check_timer_discipline();
     return finish();

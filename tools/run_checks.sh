@@ -31,7 +31,12 @@
 #      with -DSTORSUBSIM_SIMD=OFF (scalar-only decode kernels) must produce
 #      byte-identical full-scale analyze reports to the default SIMD build —
 #      the wide kernels are an optimisation, never a semantic change
-#   9. clang-tidy over src/ when available (the container may not ship it;
+#   9. storsimd gate (docs/SERVE.md): a real `storsubsim serve` daemon over
+#      the step-5 store answers parallel `storsubsim client` calls byte-
+#      identically to the offline path, the serve_bench QPS ladder clears a
+#      conservative floor with zero mismatches, and SIGTERM drains cleanly
+#      (exit 0, socket unlinked)
+#  10. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
@@ -39,14 +44,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/9] configure + build =="
+echo "== [1/10] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/9] ctest =="
+echo "== [2/10] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/9] storsim_lint =="
+echo "== [3/10] storsim_lint =="
 # Emit the machine-readable report first (it must exist even when the gate
 # below fails, so CI can surface the findings), then run the human gate.
 ./build/tools/storsim_lint --format=json --root . src bench tests \
@@ -54,11 +59,11 @@ echo "== [3/9] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 echo "machine-readable report: build/lint-report.json"
 
-echo "== [4/9] pipeline_throughput smoke =="
+echo "== [4/10] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
   --out=build/BENCH_pipeline_smoke.json
 
-echo "== [5/9] store round-trip (full scale) + corruption smoke =="
+echo "== [5/10] store round-trip (full scale) + corruption smoke =="
 ./build/bench/store_bench --scale=1.0 --repeat=1 \
   --store=build/BENCH_checks.store --out=build/BENCH_store_checks.json
 # Corrupt stores must be rejected, never crash: truncate one copy, flip a
@@ -75,7 +80,7 @@ for broken in build/BENCH_checks_truncated.store build/BENCH_checks_flipped.stor
 done
 echo "corrupted stores rejected with typed errors"
 
-echo "== [6/9] observability: byte identity + manifest + overhead =="
+echo "== [6/10] observability: byte identity + manifest + overhead =="
 # Byte identity at full scale: the store built in step 5 feeds the same
 # analyze invocation with the obs stack off and fully on. --input also
 # exercises the STORCOL1 magic sniffing path.
@@ -132,7 +137,7 @@ else
   echo "python3 unavailable; skipping the <2% overhead comparison"
 fi
 
-echo "== [7/9] sharded store: bounded-memory build + merged-answer identity =="
+echo "== [7/10] sharded store: bounded-memory build + merged-answer identity =="
 # Full-scale sharded build under a budget the monolithic writer exceeds
 # (step 5's single-file build peaks around 630 MiB on this fleet). The build
 # records its own peak RSS in the directory's build.manifest.json.
@@ -170,7 +175,7 @@ else
   echo "python3 unavailable; skipping the RSS-budget assertion"
 fi
 
-echo "== [8/9] decode-kernel identity: scalar build vs SIMD build =="
+echo "== [8/10] decode-kernel identity: scalar build vs SIMD build =="
 # A scalar-only build (-DSTORSUBSIM_SIMD=OFF) must answer the full-scale
 # analyze byte for byte like the default build: the wide kernels may only
 # change speed, never output. Reuses the step-5 store so both binaries read
@@ -187,7 +192,74 @@ for report in afr burstiness correlation; do
 done
 echo "scalar-kernel build byte-identical to the SIMD build (afr, burstiness, correlation)"
 
-echo "== [9/9] clang-tidy =="
+echo "== [9/10] storsimd: daemon byte-identity + QPS floor + drain =="
+# A real `storsubsim serve` daemon over the full-scale store from step 5,
+# driven by parallel `storsubsim client` invocations: every endpoint must be
+# byte-identical to the offline path, and SIGTERM must drain cleanly
+# (exit 0, socket unlinked). See docs/SERVE.md.
+SERVE_SOCK=build/CHECK_serve.sock
+rm -f "$SERVE_SOCK"
+./build/tools/storsubsim serve --input build/BENCH_checks.store \
+  --socket "$SERVE_SOCK" > /dev/null 2>&1 &
+SERVE_PID=$!
+tries=0
+while [ ! -S "$SERVE_SOCK" ] && [ "$tries" -lt 500 ]; do
+  sleep 0.01
+  tries=$((tries + 1))
+done
+[ -S "$SERVE_SOCK" ] || { echo "FAIL: daemon never bound $SERVE_SOCK"; exit 1; }
+client_pids=""
+for pair in afr:afr-total afr_by_class:afr tbf:burstiness \
+            correlation:correlation lifetime:lifetime; do
+  endpoint=${pair%%:*}
+  report=${pair##*:}
+  ./build/tools/storsubsim analyze --store build/BENCH_checks.store \
+    --report "$report" > "build/CHECK_serve_offline_$endpoint.txt"
+  ./build/tools/storsubsim client --socket "$SERVE_SOCK" \
+    --endpoint "$endpoint" > "build/CHECK_serve_daemon_$endpoint.txt" &
+  client_pids="$client_pids $!"
+done
+./build/tools/storsubsim store query --store build/BENCH_checks.store \
+  --group-by class --csv > build/CHECK_serve_offline_query.txt
+./build/tools/storsubsim client --socket "$SERVE_SOCK" --endpoint query \
+  --group-by class --csv > build/CHECK_serve_daemon_query.txt &
+client_pids="$client_pids $!"
+for pid in $client_pids; do
+  wait "$pid"
+done
+for endpoint in afr afr_by_class tbf correlation lifetime query; do
+  cmp "build/CHECK_serve_offline_$endpoint.txt" \
+    "build/CHECK_serve_daemon_$endpoint.txt"
+done
+echo "daemon answers byte-identical to offline (5 endpoints + grouped query)"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+[ ! -e "$SERVE_SOCK" ] || { echo "FAIL: $SERVE_SOCK leaked after drain"; exit 1; }
+echo "SIGTERM drain clean (exit 0, socket unlinked)"
+# QPS floor: the in-process ladder over the same store. The committed
+# BENCH_serve.json holds this machine-independent reference; the floor here
+# is deliberately conservative so slow CI boxes pass while a daemon that
+# serializes everything (or deadlocks) fails.
+./build/bench/serve_bench --store=build/BENCH_checks.store --requests=100 \
+  --out=build/BENCH_serve_check.json > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'PYEOF'
+import json
+doc = json.load(open("build/BENCH_serve_check.json"))
+assert doc["mismatches"] == 0, "daemon served wrong bytes under load"
+ladder = {r["clients"]: r for r in doc["ladder"]}
+qps16 = ladder[16]["qps"]
+print("serve QPS ladder: " + ", ".join(
+    "%d clients -> %.0f qps (p99 %.0f us)" % (c, r["qps"], r["p99_us"])
+    for c, r in sorted(ladder.items())))
+assert qps16 >= 100.0, "16-client QPS %.0f below the 100 qps floor" % qps16
+PYEOF
+else
+  grep -q '"mismatches": 0' build/BENCH_serve_check.json
+  echo "python3 unavailable; QPS floor grep-checked for identity only"
+fi
+
+echo "== [10/10] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.

@@ -59,6 +59,11 @@ if [ "$preset" = tsan ]; then
   # layer recording throughout.
   run_ctest -R 'Registry\.|Trace\.|Span\.|Determinism\.'
 
+  # storsimd: 16 concurrent clients against real connection threads, the
+  # request pool, and the shard LRU — the hottest lock choreography in the
+  # tree (pin/evict vs. mmap teardown, drain vs. in-flight requests).
+  run_ctest -R 'ServeSuite\.'
+
   # Determinism contract under contention and with an oversubscribed pool:
   # the invariance tests internally compare 1-thread vs 4-thread runs; running
   # them with the pool default pinned to 1 and then 8 exercises both the

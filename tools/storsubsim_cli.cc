@@ -36,6 +36,8 @@
 // with observability on or off, at any --threads value.
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -44,7 +46,10 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/afr.h"
+#include "core/analysis_render.h"
 #include "core/burstiness.h"
 #include "core/correlation.h"
 #include "core/prediction.h"
@@ -59,6 +64,8 @@
 #include "model/fleet_config.h"
 #include "model/time.h"
 #include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
 #include "sim/log_bridge.h"
 #include "sim/precursors.h"
 #include "sim/scenario.h"
@@ -117,7 +124,7 @@ int usage() {
   storsubsim simulate --logs FILE --snapshot FILE [--scale S] [--seed N] [--precursors]
                       [--threads N]
   storsubsim analyze  (--input FILE [--snapshot FILE] | --logs FILE --snapshot FILE | --store FILE)
-                      --report afr|burstiness|correlation|vulnerability|events
+                      --report afr|afr-total|burstiness|correlation|lifetime|vulnerability|events
                       [--class CLASS] [--exclude-h] [--csv]
   storsubsim inspect  --snapshot FILE [--csv]
   storsubsim predict  --logs FILE --snapshot FILE [--threshold K] [--window-days W] [--horizon-days H]
@@ -126,6 +133,10 @@ int usage() {
   storsubsim store query --store FILE|DIR [--type TYPE] [--class CLASS] [--family F]
                       [--from-days D] [--to-days D] [--group-by class|type|family] [--csv]
   storsubsim store stats --store FILE|DIR [--csv]
+  storsubsim serve    --input FILE|DIR --socket PATH [--max-open-shards N] [--threads N]
+  storsubsim client   --socket PATH --endpoint afr|afr_by_class|tbf|correlation|lifetime|query|stats
+                      [--type TYPE] [--class CLASS] [--family F] [--from-days D]
+                      [--to-days D] [--group-by class|type|family] [--csv]
 observability (any command): [--metrics] [--trace FILE] [--manifest FILE]
 )";
   return 2;
@@ -335,52 +346,20 @@ int cmd_analyze(const Args& args) {
                               : have_shards ? core::Source(shard_store)
                                             : core::Source(event_store);
 
+  // The table-producing reports render through core/analysis_render.h — the
+  // same functions the storsimd serve endpoints call, which is what makes the
+  // daemon byte-identical to this offline path (docs/SERVE.md).
+  const bool csv = args.has_flag("csv");
   if (report == "afr") {
-    core::TextTable table({"class", "disk", "interconnect", "protocol", "performance",
-                           "total AFR", "disk-years"});
-    const auto rows = core::afr_by_class(source);
-    for (const auto& b : rows) {
-      table.add_row({b.label, core::fmt(b.afr_pct(model::FailureType::kDisk), 2),
-                     core::fmt(b.afr_pct(model::FailureType::kPhysicalInterconnect), 2),
-                     core::fmt(b.afr_pct(model::FailureType::kProtocol), 2),
-                     core::fmt(b.afr_pct(model::FailureType::kPerformance), 2),
-                     core::fmt(b.total_afr_pct(), 2), core::fmt(b.disk_years, 0)});
-    }
-    print(table, args);
+    std::cout << core::render_afr_by_class(source, csv);
+  } else if (report == "afr-total") {
+    std::cout << core::render_afr_total(source, csv);
   } else if (report == "burstiness") {
-    core::TextTable table({"scope", "series", "gaps", "within 10^3 s", "within 10^4 s",
-                           "within 10^5 s"});
-    for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
-      const auto r = core::time_between_failures(source, scope);
-      const char* scope_name = scope == core::Scope::kShelf ? "shelf" : "raid-group";
-      for (std::size_t s = 0; s < core::kSeriesCount; ++s) {
-        const std::string label =
-            s == core::kOverallSeries
-                ? "overall"
-                : std::string(model::to_string(model::kAllFailureTypes[s]));
-        table.add_row({scope_name, label, std::to_string(r.gap_count(s)),
-                       core::fmt_pct(r.fraction_within(s, 1e3), 1),
-                       core::fmt_pct(r.fraction_within(s, 1e4), 1),
-                       core::fmt_pct(r.fraction_within(s, 1e5), 1)});
-      }
-    }
-    print(table, args);
+    std::cout << core::render_tbf(source, csv);
   } else if (report == "correlation") {
-    core::TextTable table(
-        {"scope", "type", "windows", "P(1)", "P(2)", "theory P(2)", "factor"});
-    for (const auto scope : {core::Scope::kShelf, core::Scope::kRaidGroup}) {
-      const auto results = core::failure_correlation_all_types(source, scope);
-      for (const auto& r : results) {
-        table.add_row({scope == core::Scope::kShelf ? "shelf" : "raid-group",
-                       std::string(model::to_string(r.type)),
-                       std::to_string(r.windows_observed),
-                       core::fmt(100.0 * r.empirical_p1(), 3) + "%",
-                       core::fmt(100.0 * r.empirical_p2(), 3) + "%",
-                       core::fmt(100.0 * r.theoretical_p2(), 4) + "%",
-                       core::fmt(r.correlation_factor(), 1) + "x"});
-      }
-    }
-    print(table, args);
+    std::cout << core::render_correlation(source, csv);
+  } else if (report == "lifetime") {
+    std::cout << core::render_lifetime(source, csv);
   } else if (report == "events") {
     // Raw classified-failure export (one row per failure, joined with the
     // inventory) — feed to R/pandas/duckdb for analyses this tool lacks.
@@ -715,17 +694,7 @@ int cmd_store_query(const Args& args) {
   } else {
     result = store::run_query(es, query);
   }
-  core::TextTable table({"group", "disk", "interconnect", "protocol", "performance",
-                         "events", "disk-years", "AFR %"});
-  for (const auto& g : result.groups) {
-    table.add_row(
-        {g.label, std::to_string(g.events_by_type[0]), std::to_string(g.events_by_type[1]),
-         std::to_string(g.events_by_type[2]), std::to_string(g.events_by_type[3]),
-         std::to_string(g.events),
-         g.disk_years > 0.0 ? core::fmt(g.disk_years, 0) : std::string("-"),
-         g.disk_years > 0.0 ? core::fmt(g.afr_pct, 2) : std::string("-")});
-  }
-  print(table, args);
+  std::cout << core::render_query_result(result, args.has_flag("csv"));
   std::cerr << "scanned " << result.stats.rows_scanned << " rows in "
             << result.stats.blocks_scanned << " blocks (" << result.stats.blocks_pruned
             << " pruned by the time index), matched " << result.stats.rows_matched << "\n";
@@ -821,12 +790,99 @@ int cmd_store(const Args& args) {
   return usage();
 }
 
+// --- storsimd (docs/SERVE.md) -----------------------------------------------
+
+/// Drain self-pipe fd for the signal handler; -1 while no daemon runs.
+std::atomic<int> g_serve_drain_fd{-1};
+
+/// SIGINT/SIGTERM → one byte down the daemon's drain pipe. write() is
+/// async-signal-safe; everything else happens on the serve thread.
+void serve_signal_handler(int /*signum*/) {
+  const int fd = g_serve_drain_fd.load();
+  if (fd >= 0) {
+    const char byte = 'd';
+    const ssize_t rc = write(fd, &byte, 1);
+    static_cast<void>(rc);
+  }
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  options.input = args.get("input");
+  options.socket_path = args.get("socket");
+  if (options.input.empty() || options.socket_path.empty()) return usage();
+  options.max_open_shards =
+      static_cast<std::size_t>(args.get_double("max-open-shards", 0.0));
+  options.threads = static_cast<unsigned>(args.get_double("threads", 0.0));
+
+  serve::Daemon daemon;
+  if (const auto err = daemon.start(options); !err.ok()) {
+    std::cerr << "cannot start storsimd: " << err.describe() << "\n";
+    return 1;
+  }
+  g_serve_drain_fd.store(daemon.drain_signal_fd());
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+  std::cerr << "storsimd serving " << options.input
+            << (daemon.sharded() ? " (sharded)" : "") << " on "
+            << options.socket_path << "\n";
+  const auto err = daemon.serve();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_drain_fd.store(-1);
+  if (!err.ok()) {
+    std::cerr << "storsimd failed: " << err.describe() << "\n";
+    return 1;
+  }
+  std::cerr << "storsimd drained\n";
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string socket_path = args.get("socket");
+  serve::Request request;
+  request.endpoint = args.get("endpoint");
+  if (socket_path.empty() || request.endpoint.empty()) return usage();
+  request.csv = args.has_flag("csv");
+  request.params.type = args.get("type");
+  request.params.cls = args.get("class");
+  request.params.family = args.get("family");
+  request.params.group_by = args.get("group-by");
+  if (args.options.contains("from-days")) {
+    request.params.from_days = args.get_double("from-days", 0.0);
+  }
+  if (args.options.contains("to-days")) {
+    request.params.to_days = args.get_double("to-days", 0.0);
+  }
+
+  serve::Client client;
+  if (const auto err = client.connect(socket_path); !err.ok()) {
+    std::cerr << "cannot reach storsimd: " << err.describe() << "\n";
+    return 1;
+  }
+  serve::Response response;
+  if (const auto err = client.request(request, &response); !err.ok()) {
+    std::cerr << "request failed: " << err.describe() << "\n";
+    return 1;
+  }
+  if (!response.ok) {
+    std::cerr << "daemon error [" << response.error_code << "]: "
+              << response.message << "\n";
+    return 1;
+  }
+  // The table bytes are exactly what the offline command prints to stdout.
+  std::cout << response.table;
+  return 0;
+}
+
 int dispatch(const Args& args) {
   if (args.command == "simulate") return cmd_simulate(args);
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "inspect") return cmd_inspect(args);
   if (args.command == "predict") return cmd_predict(args);
   if (args.command == "store") return cmd_store(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "client") return cmd_client(args);
   return usage();
 }
 
