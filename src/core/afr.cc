@@ -148,7 +148,8 @@ std::vector<AfrBreakdown> afr_by_disk_model(const Dataset& dataset) {
   for (const auto& [name, _] : present) {
     Filter f;
     f.disk_model = name;
-    out.push_back(compute_afr(dataset.filter(f), "Disk " + model::to_string(name)));
+    const Dataset cohort = dataset.filter(f);
+    out.push_back(compute_afr(cohort, "Disk " + model::to_string(name)));
   }
   return out;
 }
@@ -162,7 +163,8 @@ std::vector<AfrBreakdown> afr_by_shelf_model(const Dataset& dataset) {
   for (const auto& [name, _] : present) {
     Filter f;
     f.shelf_model = name;
-    out.push_back(compute_afr(dataset.filter(f), "Shelf Model " + model::to_string(name)));
+    const Dataset cohort = dataset.filter(f);
+    out.push_back(compute_afr(cohort, "Shelf Model " + model::to_string(name)));
   }
   return out;
 }
@@ -202,7 +204,8 @@ std::vector<StabilityRow> afr_stability_by_disk_model(const Dataset& dataset) {
       f.disk_model = disk_model;
       f.system_class = env.first;
       f.shelf_model = env.second;
-      const auto b = compute_afr(dataset.filter(f));
+      const Dataset cohort = dataset.filter(f);
+      const auto b = compute_afr(cohort);
       if (b.disk_years <= 0.0) continue;
       disk_afr.add(b.afr_pct(FailureType::kDisk));
       subsystem_afr.add(b.total_afr_pct());

@@ -49,22 +49,10 @@ std::vector<AfrBreakdown> afr_by_class(const Source& source);
 AfrBreakdown compute_afr(const store::EventView& events, double disk_years,
                          std::string label = {});
 
-// --- legacy overloads (thin shims) ------------------------------------------
-// \deprecated Pre-Source API, kept as source-compatible shims; prefer the
-// Source entry points above. See docs/API.md for the deprecation policy.
-
-inline AfrBreakdown compute_afr(const Dataset& dataset, std::string label = {}) {
-  return compute_afr(Source(dataset), std::move(label));
-}
-inline AfrBreakdown compute_afr(const store::EventStore& store, std::string label = {}) {
-  return compute_afr(Source(store), std::move(label));
-}
-inline std::vector<AfrBreakdown> afr_by_class(const Dataset& dataset) {
-  return afr_by_class(Source(dataset));
-}
-inline std::vector<AfrBreakdown> afr_by_class(const store::EventStore& store) {
-  return afr_by_class(Source(store));
-}
+// The pre-Source per-backend overloads (compute_afr(Dataset&), ...) were
+// retired in the AnalysisRequest redesign; pass any backend through the
+// implicit Source conversions above. storsim_lint's analysis-overload rule
+// rejects reintroduction (docs/static-analysis.md).
 
 /// AFR by disk model within one class+shelf cohort (paper Figure 5 panels).
 std::vector<AfrBreakdown> afr_by_disk_model(const Dataset& dataset);

@@ -48,17 +48,6 @@ struct BurstinessResult {
 /// filter it.
 BurstinessResult time_between_failures(const Source& source, Scope scope);
 
-// --- legacy overloads (thin shims) ------------------------------------------
-// \deprecated Pre-Source API; prefer time_between_failures(Source, Scope).
-
-inline BurstinessResult time_between_failures(const Dataset& dataset, Scope scope) {
-  return time_between_failures(Source(dataset), scope);
-}
-inline BurstinessResult time_between_failures(const store::EventStore& store,
-                                              Scope scope) {
-  return time_between_failures(Source(store), scope);
-}
-
 /// Convenience index for a failure-type series.
 constexpr std::size_t series_of(model::FailureType type) { return model::index_of(type); }
 

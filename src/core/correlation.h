@@ -62,32 +62,6 @@ CorrelationResult failure_correlation(const Source& source, Scope scope,
 std::vector<CorrelationResult> failure_correlation_all_types(
     const Source& source, Scope scope, double window_seconds = model::kSecondsPerYear);
 
-// --- legacy overloads (thin shims) ------------------------------------------
-// \deprecated Pre-Source API; prefer the Source entry points above.
-
-inline CorrelationResult failure_correlation(const Dataset& dataset, Scope scope,
-                                             model::FailureType type,
-                                             double window_seconds =
-                                                 model::kSecondsPerYear) {
-  return failure_correlation(Source(dataset), scope, type, window_seconds);
-}
-inline CorrelationResult failure_correlation(const store::EventStore& store,
-                                             Scope scope, model::FailureType type,
-                                             double window_seconds =
-                                                 model::kSecondsPerYear) {
-  return failure_correlation(Source(store), scope, type, window_seconds);
-}
-inline std::vector<CorrelationResult> failure_correlation_all_types(
-    const Dataset& dataset, Scope scope,
-    double window_seconds = model::kSecondsPerYear) {
-  return failure_correlation_all_types(Source(dataset), scope, window_seconds);
-}
-inline std::vector<CorrelationResult> failure_correlation_all_types(
-    const store::EventStore& store, Scope scope,
-    double window_seconds = model::kSecondsPerYear) {
-  return failure_correlation_all_types(Source(store), scope, window_seconds);
-}
-
 /// The generalized check P(N) = P(1)^N / N! for N = 1..max_n (paper
 /// equation 4): empirical vs theoretical window fractions.
 struct MultiplicityRow {

@@ -39,24 +39,4 @@ struct LifetimeReport {
 LifetimeReport disk_lifetime_report(const Source& source,
                                     std::vector<double> age_edges_days = {});
 
-// --- legacy overloads (thin shims) ------------------------------------------
-// \deprecated Pre-Source API; prefer the Source entry points above.
-
-inline std::vector<stats::SurvivalObservation> disk_lifetime_observations(
-    const Dataset& dataset) {
-  return disk_lifetime_observations(Source(dataset));
-}
-inline std::vector<stats::SurvivalObservation> disk_lifetime_observations(
-    const store::EventStore& store) {
-  return disk_lifetime_observations(Source(store));
-}
-inline LifetimeReport disk_lifetime_report(const Dataset& dataset,
-                                           std::vector<double> age_edges_days = {}) {
-  return disk_lifetime_report(Source(dataset), std::move(age_edges_days));
-}
-inline LifetimeReport disk_lifetime_report(const store::EventStore& store,
-                                           std::vector<double> age_edges_days = {}) {
-  return disk_lifetime_report(Source(store), std::move(age_edges_days));
-}
-
 }  // namespace storsubsim::core

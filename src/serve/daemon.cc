@@ -14,8 +14,10 @@
 #include <unistd.h>
 
 #include "core/analysis_render.h"
+#include "core/analysis_request.h"
 #include "core/source.h"
 #include "obs/obs.h"
+#include "replicate/table.h"
 
 namespace storsubsim::serve {
 
@@ -136,6 +138,27 @@ store::Error Daemon::start(const ServeOptions& options) {
     detail.append(options.input)
         .append(" is neither a STORCOL1 store nor a shard directory");
     return store::make_error(store::ErrorCode::kBadMagic, detail, 0);
+  }
+
+  if (!options.replicates.empty()) {
+    if (store::Error err = replicate::read_table(options.replicates, &replicate_summary_);
+        !err.ok()) {
+      return err;
+    }
+    have_replicates_ = true;
+    // Provenance onto the stats endpoint: which substream seeded the
+    // replicates, how many ran, and why the run stopped. Deterministic —
+    // they describe the loaded table, not request scheduling.
+    obs::registry().counter("serve.replicate.replicates")
+        .add(replicate_summary_.replicates);
+    obs::registry().counter("serve.replicate.seed")
+        .add(replicate_summary_.options.seed);
+    std::string stream_counter("serve.replicate.seed_stream.");
+    stream_counter.append(replicate::kSeedStream);
+    obs::registry().counter(stream_counter).add(1);
+    std::string reason_counter("serve.replicate.stop_reason.");
+    reason_counter.append(replicate::to_string(replicate_summary_.stop_reason));
+    obs::registry().counter(reason_counter).add(1);
   }
 
   pool_ = std::make_unique<util::ThreadPool>(
@@ -284,7 +307,8 @@ std::string Daemon::dispatch(const Request& request) {
   const bool is_analysis = endpoint == "afr" || endpoint == "afr_by_class" ||
                            endpoint == "correlation" || endpoint == "tbf" ||
                            endpoint == "lifetime";
-  if (!is_analysis && endpoint != "query" && endpoint != "stats") {
+  if (!is_analysis && endpoint != "query" && endpoint != "stats" &&
+      endpoint != "replicate_summary") {
     std::string message("unknown endpoint '");
     message.append(request.endpoint).append("'");
     return render_error_response("unknown-endpoint", message);
@@ -312,6 +336,10 @@ std::string Daemon::dispatch(const Request& request) {
     response = render_ok_response(endpoint, obs::registry().snapshot().to_text());
   } else if (endpoint == "query") {
     response = run_store_query(request);
+  } else if (endpoint == "replicate_summary") {
+    Request canonical = request;
+    canonical.endpoint = endpoint;
+    response = run_replicate_summary(canonical);
   } else {
     Request canonical = request;
     canonical.endpoint = endpoint;
@@ -328,22 +356,26 @@ std::string Daemon::dispatch(const Request& request) {
 }
 
 std::string Daemon::run_analysis(const Request& request) {
-  std::string (*render)(const core::Source&, bool) = nullptr;
-  if (request.endpoint == "afr") {
-    render = core::render_afr_total;
-  } else if (request.endpoint == "afr_by_class") {
-    render = core::render_afr_by_class;
-  } else if (request.endpoint == "tbf") {
-    render = core::render_tbf;
-  } else if (request.endpoint == "correlation") {
-    render = core::render_correlation;
-  } else {
-    render = core::render_lifetime;
+  // dispatch() vetted the endpoint name, so the lookup cannot fail; the
+  // typed request then renders through core::render_statistic — the same
+  // entry point `storsubsim analyze` uses, which is the byte-identity
+  // guarantee by construction.
+  const auto statistic = core::statistic_from_endpoint(request.endpoint);
+  if (!statistic.has_value()) {
+    std::string message("unknown endpoint '");
+    message.append(request.endpoint).append("'");
+    return render_error_response("unknown-endpoint", message);
+  }
+  core::AnalysisRequest analysis;
+  if (RequestError err = core::AnalysisRequest::from_params(*statistic, request.params,
+                                                            request.csv, &analysis);
+      !err.ok()) {
+    return render_error_response(err.code, err.message);
   }
 
   if (!sharded_) {
     const core::Source source(event_store_);
-    return render_ok_response(request.endpoint, render(source, request.csv));
+    return render_ok_response(request.endpoint, core::render_statistic(source, analysis));
   }
   // Whole-fleet analyses touch every shard; pin them all so the analysis
   // code's lazy shard access can never race an eviction.
@@ -352,7 +384,16 @@ std::string Daemon::run_analysis(const Request& request) {
   }
   PinAllGuard guard{lru_.get()};
   const core::Source source(shard_store_);
-  return render_ok_response(request.endpoint, render(source, request.csv));
+  return render_ok_response(request.endpoint, core::render_statistic(source, analysis));
+}
+
+std::string Daemon::run_replicate_summary(const Request& request) {
+  if (!have_replicates_) {
+    return render_error_response("bad-request",
+                                 "daemon was started without --replicates");
+  }
+  return render_ok_response(
+      request.endpoint, replicate::render_summary(replicate_summary_, request.csv));
 }
 
 std::string Daemon::run_store_query(const Request& request) {

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "replicate/replicate.h"
 #include "serve/protocol.h"
 #include "serve/shard_lru.h"
 #include "store/reader.h"
@@ -40,6 +41,10 @@ struct ServeOptions {
   std::string socket_path;  ///< unix socket to bind (replaced if stale)
   std::size_t max_open_shards = 0;  ///< LRU cap; 0 = keep all shards mapped
   unsigned threads = 0;             ///< pool size; 0 = util::thread_count()
+  /// Optional STORREP1 replicate table (storsubsim replicate --out). When
+  /// set, the replicate_summary endpoint serves its rendered summary and
+  /// the stats endpoint carries its provenance counters.
+  std::string replicates;
 };
 
 /// Reusable pool of query-scan arenas. Warm requests pop an existing
@@ -93,11 +98,14 @@ class Daemon {
   std::string dispatch(const Request& request);
   std::string run_analysis(const Request& request);
   std::string run_store_query(const Request& request);
+  std::string run_replicate_summary(const Request& request);
 
   ServeOptions options_;
   bool sharded_ = false;
   store::EventStore event_store_;
   store::ShardStore shard_store_;
+  replicate::ReplicateSummary replicate_summary_;
+  bool have_replicates_ = false;
   std::unique_ptr<ShardLru> lru_;
   std::unique_ptr<util::ThreadPool> pool_;
   ScratchPool scratch_pool_;

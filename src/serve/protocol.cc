@@ -7,8 +7,6 @@
 #include <charconv>
 #include <cstring>
 
-#include "model/enums.h"
-#include "model/time.h"
 #include "obs/json.h"
 
 namespace storsubsim::serve {
@@ -172,53 +170,15 @@ RequestError parse_request(std::string_view body, Request* out) {
 }
 
 RequestError make_query(const QueryParams& params, store::Query* out) {
-  // Mirrors cmd_store_query's flag handling token for token — the daemon
-  // must reject exactly what the offline CLI rejects, with the same wording.
-  store::Query query;
-  if (!params.type.empty()) {
-    const auto parsed = model::parse_failure_type(params.type);
-    if (!parsed) {
-      std::string message("unknown failure type '");
-      message.append(params.type).append("'");
-      return request_error("bad-param", message);
-    }
-    query.failure_type = parsed;
+  // One validator for every front end: the daemon rejects exactly what the
+  // offline CLI rejects, same wording, because they run the same code.
+  core::AnalysisRequest request;
+  if (RequestError err = core::AnalysisRequest::from_params(
+          core::StatisticId::kQuery, params, false, &request);
+      !err.ok()) {
+    return err;
   }
-  if (!params.cls.empty()) {
-    const auto parsed = model::parse_system_class(params.cls);
-    if (!parsed) {
-      std::string message("unknown system class '");
-      message.append(params.cls).append("'");
-      return request_error("bad-param", message);
-    }
-    query.system_class = parsed;
-  }
-  if (!params.family.empty()) {
-    if (params.family.size() != 1) {
-      std::string message("disk family must be a single letter, got '");
-      message.append(params.family).append("'");
-      return request_error("bad-param", message);
-    }
-    query.disk_family = params.family[0];
-  }
-  if (params.from_days.has_value()) {
-    query.time_begin = *params.from_days * model::kSecondsPerDay;
-  }
-  if (params.to_days.has_value()) {
-    query.time_end = *params.to_days * model::kSecondsPerDay;
-  }
-  if (params.group_by == "class") {
-    query.group_by = store::Query::GroupBy::kSystemClass;
-  } else if (params.group_by == "type") {
-    query.group_by = store::Query::GroupBy::kFailureType;
-  } else if (params.group_by == "family") {
-    query.group_by = store::Query::GroupBy::kDiskFamily;
-  } else if (!params.group_by.empty()) {
-    std::string message("unknown group-by '");
-    message.append(params.group_by).append("' (want class|type|family)");
-    return request_error("bad-param", message);
-  }
-  *out = query;
+  *out = request.query;
   return RequestError{};
 }
 

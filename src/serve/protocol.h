@@ -26,10 +26,10 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
 #include <string_view>
 
+#include "core/analysis_request.h"
 #include "store/query.h"
 
 namespace storsubsim::serve {
@@ -60,22 +60,11 @@ FrameStatus read_frame(int fd, std::string* body,
 /// codebase; callers must keep it that way.
 [[nodiscard]] bool write_frame(int fd, std::string_view body);
 
-/// Raw query-endpoint parameters as they travel on the wire. Strings stay
-/// unparsed here so the client renders exactly what the user typed and the
-/// daemon applies the same validation the offline CLI does.
-struct QueryParams {
-  std::string type;      ///< failure type name; empty = no predicate
-  std::string cls;       ///< system class name
-  std::string family;    ///< single-letter disk family
-  std::string group_by;  ///< "class" | "type" | "family"; empty = none
-  std::optional<double> from_days;
-  std::optional<double> to_days;
-
-  bool empty() const noexcept {
-    return type.empty() && cls.empty() && family.empty() && group_by.empty() &&
-           !from_days.has_value() && !to_days.has_value();
-  }
-};
+/// Raw query-endpoint parameters as they travel on the wire — the typed
+/// core::RequestParams, aliased. Strings stay unparsed here so the client
+/// renders exactly what the user typed; semantic validation is
+/// core::AnalysisRequest::from_params, the same code the offline CLI runs.
+using QueryParams = core::RequestParams;
 
 struct Request {
   std::string endpoint;
@@ -83,23 +72,20 @@ struct Request {
   QueryParams params;
 };
 
-/// Typed outcome of parsing/validating a request body. `code` is one of the
-/// wire error codes above; empty code means success.
-struct RequestError {
-  std::string code;
-  std::string message;
-
-  bool ok() const noexcept { return code.empty(); }
-};
+/// Typed outcome of parsing/validating a request body — core::RequestError,
+/// aliased. `code` is one of the wire error codes above; empty code means
+/// success.
+using RequestError = core::RequestError;
 
 /// Parses and strictly validates a request body (syntax + types + key set).
 /// Semantic validation of the params (unknown class name, ...) happens in
 /// make_query so the error can carry the offline CLI's wording.
 [[nodiscard]] RequestError parse_request(std::string_view body, Request* out);
 
-/// Converts validated QueryParams into a store::Query exactly as
-/// `storsubsim store query` converts its flags (same parse functions, same
-/// day-to-second scaling) — the root of the byte-identity guarantee.
+/// Converts validated QueryParams into a store::Query via
+/// core::AnalysisRequest::from_params — literally the code path that parses
+/// `storsubsim store query` flags, which is the root of the "daemon rejects
+/// exactly what the CLI rejects, same wording" guarantee.
 [[nodiscard]] RequestError make_query(const QueryParams& params, store::Query* out);
 
 /// Renders the request body JSON a Request describes (client side; also the

@@ -105,7 +105,8 @@ TEST(Correlation, TypeSelective) {
 TEST(Correlation, CustomWindowLength) {
   // Quarter windows: 1 year horizon -> 4 windows per shelf.
   const auto inv = shelf_farm(2, 1.0);
-  const auto r = core::failure_correlation(core::Dataset(inv, {}), core::Scope::kShelf,
+  const core::Dataset ds(inv, {});
+  const auto r = core::failure_correlation(ds, core::Scope::kShelf,
                                            model::FailureType::kDisk,
                                            0.25 * model::kSecondsPerYear);
   EXPECT_EQ(r.windows_observed, 8u);

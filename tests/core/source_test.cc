@@ -1,7 +1,8 @@
 // core::Source equivalence suite: the unified analysis entry points must be
 // bit-identical across the two backends — a Dataset from the live pipeline
-// and an EventStore rehydrated from the serialized run — and the deprecated
-// pre-Source overloads must stay exact shims over the Source paths.
+// and an EventStore rehydrated from the serialized run — and the implicit
+// backend-to-Source conversions must be exact (the pre-Source per-backend
+// overloads were retired; implicit conversion is the only bridge left).
 //
 // Scale 0.05 is the in-ctest fidelity point (same as the store round-trip
 // suite): large enough that every system class, failure type, and scope kind
@@ -159,17 +160,18 @@ TEST_F(SourceEquivalence, LifetimeMatchesAcrossBackends) {
   EXPECT_EQ(report_dataset.survival.median(), report_store.survival.median());
 }
 
-// The deprecated overloads must be exact shims: same numbers as the Source
-// paths, both per-backend spellings.
-TEST_F(SourceEquivalence, LegacyOverloadsAreExactShims) {
+// The implicit backend-to-Source conversions must be exact: passing a
+// Dataset or EventStore lvalue straight to an analysis entry point yields
+// the same numbers as wrapping it in an explicit Source.
+TEST_F(SourceEquivalence, ImplicitConversionsAreExact) {
   const auto via_source = core::afr_by_class(core::Source(dataset()));
-  const auto via_dataset_overload = core::afr_by_class(dataset());
-  const auto via_store_overload = core::afr_by_class(event_store());
-  ASSERT_EQ(via_source.size(), via_dataset_overload.size());
-  ASSERT_EQ(via_source.size(), via_store_overload.size());
+  const auto via_dataset_implicit = core::afr_by_class(dataset());
+  const auto via_store_implicit = core::afr_by_class(event_store());
+  ASSERT_EQ(via_source.size(), via_dataset_implicit.size());
+  ASSERT_EQ(via_source.size(), via_store_implicit.size());
   for (std::size_t i = 0; i < via_source.size(); ++i) {
-    expect_breakdown_identical(via_source[i], via_dataset_overload[i]);
-    expect_breakdown_identical(via_source[i], via_store_overload[i]);
+    expect_breakdown_identical(via_source[i], via_dataset_implicit[i]);
+    expect_breakdown_identical(via_source[i], via_store_implicit[i]);
   }
 
   const auto tbf_source = core::time_between_failures(core::Source(dataset()),

@@ -62,8 +62,10 @@ TEST(Finding2, DiskAfrNotIndicativeOfSubsystemAfr) {
   nearline.system_class = model::SystemClass::kNearLine;
   core::Filter lowend;
   lowend.system_class = model::SystemClass::kLowEnd;
-  const auto nl = core::compute_afr(ds.filter(nearline));
-  const auto le = core::compute_afr(ds.filter(lowend));
+  const auto nl_cohort = ds.filter(nearline);
+  const auto le_cohort = ds.filter(lowend);
+  const auto nl = core::compute_afr(nl_cohort);
+  const auto le = core::compute_afr(le_cohort);
   EXPECT_GT(nl.afr_pct(FailureType::kDisk), 1.5 * le.afr_pct(FailureType::kDisk));
   EXPECT_LT(nl.total_afr_pct(), le.total_afr_pct());
 }
@@ -72,8 +74,10 @@ TEST(Finding3, ProblematicFamilyDoublesSubsystemAfr) {
   const auto& ds = fleet_dataset().dataset;
   core::Filter h_only;
   h_only.disk_family = 'H';
-  const auto h = core::compute_afr(ds.filter(h_only));
-  const auto rest = core::compute_afr(without_family_h(ds));
+  const auto h_cohort = ds.filter(h_only);
+  const auto rest_cohort = without_family_h(ds);
+  const auto h = core::compute_afr(h_cohort);
+  const auto rest = core::compute_afr(rest_cohort);
   EXPECT_GT(h.total_afr_pct(), 1.6 * rest.total_afr_pct());
   // The coupling shows up in protocol and performance too, not just disks.
   EXPECT_GT(h.afr_pct(FailureType::kProtocol), 1.5 * rest.afr_pct(FailureType::kProtocol));
@@ -104,8 +108,10 @@ TEST(Finding5, AfrDoesNotGrowWithCapacity) {
   d1.disk_model = model::DiskModelName{'D', 1};
   core::Filter d2;
   d2.disk_model = model::DiskModelName{'D', 2};
-  const auto b1 = core::compute_afr(ds.filter(d1));
-  const auto b2 = core::compute_afr(ds.filter(d2));
+  const auto d1_cohort = ds.filter(d1);
+  const auto d2_cohort = ds.filter(d2);
+  const auto b1 = core::compute_afr(d1_cohort);
+  const auto b2 = core::compute_afr(d2_cohort);
   ASSERT_GT(b1.disk_years, 0.0);
   ASSERT_GT(b2.disk_years, 0.0);
   EXPECT_LE(b2.afr_pct(FailureType::kDisk), b1.afr_pct(FailureType::kDisk) * 1.1);
@@ -121,7 +127,8 @@ TEST(Finding6, ShelfModelAffectsInterconnectWithFlip) {
     f.system_class = model::SystemClass::kLowEnd;
     f.disk_model = dm;
     f.shelf_model = model::ShelfModelName{shelf};
-    return core::compute_afr(ds.filter(f)).afr_pct(FailureType::kPhysicalInterconnect);
+    const auto cohort = ds.filter(f);
+    return core::compute_afr(cohort).afr_pct(FailureType::kPhysicalInterconnect);
   };
   EXPECT_GT(pi_for({'A', 2}, 'A'), pi_for({'A', 2}, 'B'));
   EXPECT_LT(pi_for({'A', 3}, 'A'), pi_for({'A', 3}, 'B'));

@@ -59,8 +59,10 @@ TEST_P(SeedStability, HeadlineStatisticsStableAcrossSeeds) {
   nearline.system_class = model::SystemClass::kNearLine;
   core::Filter lowend;
   lowend.system_class = model::SystemClass::kLowEnd;
-  const auto nl = core::compute_afr(ds.filter(nearline));
-  const auto le = core::compute_afr(ds.filter(lowend));
+  const auto nl_cohort = ds.filter(nearline);
+  const auto le_cohort = ds.filter(lowend);
+  const auto nl = core::compute_afr(nl_cohort);
+  const auto le = core::compute_afr(le_cohort);
   EXPECT_GT(nl.afr_pct(model::FailureType::kDisk), le.afr_pct(model::FailureType::kDisk));
   EXPECT_LT(nl.total_afr_pct(), le.total_afr_pct());
 

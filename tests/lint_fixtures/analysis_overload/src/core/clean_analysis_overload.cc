@@ -1,0 +1,27 @@
+// Fixture: the sanctioned shapes around the unified analysis API. Source
+// overloads of the entry points, differently-named backend helpers, and
+// call sites passing backend lvalues are all legal. Zero findings.
+namespace storsubsim::core {
+
+class Source;
+class Dataset;
+struct AfrReport;
+struct DiskModelAfr;
+
+// The unified entry point itself: first parameter is core::Source.
+AfrReport compute_afr(const Source& source);
+
+// Backend-specific helpers keep their concrete parameter — only the
+// reserved entry-point names are guarded.
+DiskModelAfr afr_by_disk_model(const Dataset& dataset);
+
+// A call site handing a Dataset lvalue to the Source overload is the
+// sanctioned implicit conversion, not a redeclaration.
+inline double call_site_probe(const Dataset& dataset) {
+  AfrReport (*fn)(const Source&) = &compute_afr;
+  (void)fn;
+  (void)dataset;
+  return 0.0;
+}
+
+}  // namespace storsubsim::core

@@ -27,7 +27,10 @@
 #include "core/sharded_build.h"
 #include "core/source.h"
 #include "core/store_bridge.h"
+#include "core/analysis_request.h"
 #include "model/fleet_config.h"
+#include "replicate/replicate.h"
+#include "replicate/table.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "serve/protocol.h"
@@ -38,6 +41,7 @@
 
 namespace core = storsubsim::core;
 namespace model = storsubsim::model;
+namespace replicate = storsubsim::replicate;
 namespace serve = storsubsim::serve;
 namespace store = storsubsim::store;
 using storsubsim::stats::Rng;
@@ -67,12 +71,14 @@ class DaemonHarness {
   ~DaemonHarness() { stop(); }
 
   [[nodiscard]] store::Error start(const std::string& input, const char* sock_name,
-                                   std::size_t max_open_shards = 0) {
+                                   std::size_t max_open_shards = 0,
+                                   const std::string& replicates = "") {
     socket_path_ = temp_path(sock_name);
     serve::ServeOptions options;
     options.input = input;
     options.socket_path = socket_path_;
     options.max_open_shards = max_open_shards;
+    options.replicates = replicates;
     options.threads = 4;
     auto err = daemon_.start(options);
     if (!err.ok()) return err;
@@ -491,6 +497,114 @@ TEST_F(ServeSuite, UnboundedDaemonKeepsEveryShardMapped) {
   EXPECT_TRUE(response.ok);
   EXPECT_EQ(harness.daemon().lru()->open_count(), 3u);
   EXPECT_EQ(harness.daemon().lru()->evictions(), 0u);
+}
+
+// --- replicate_summary ----------------------------------------------------
+
+TEST_F(ServeSuite, ReplicateSummaryMatchesTheOfflineRendererByteForByte) {
+  replicate::ReplicateOptions options;
+  options.scale = 0.02;
+  options.seed = 77;
+  options.max_replicates = 6;
+  options.min_replicates = 3;
+  options.batch = 3;
+  const auto summary = replicate::run_replication(options);
+  const std::string table_path = temp_path("serve_replicates.reps");
+  ASSERT_TRUE(replicate::write_table(table_path, summary).ok());
+
+  DaemonHarness harness;
+  ASSERT_TRUE(harness.start(mono_path(), "serve_reps.sock", 0, table_path).ok());
+  serve::Client client;
+  ASSERT_TRUE(client.connect(harness.socket_path()).ok());
+  for (const bool csv : {false, true}) {
+    serve::Request request;
+    request.endpoint = "replicate_summary";
+    request.csv = csv;
+    serve::Response response;
+    ASSERT_TRUE(client.request(request, &response).ok());
+    EXPECT_TRUE(response.ok) << response.error_code << ": " << response.message;
+    EXPECT_EQ(response.table, replicate::render_summary(summary, csv));
+  }
+
+  // The stats endpoint carries the replicate provenance counters.
+  serve::Request stats_request;
+  stats_request.endpoint = "stats";
+  serve::Response stats_response;
+  ASSERT_TRUE(client.request(stats_request, &stats_response).ok());
+  EXPECT_TRUE(stats_response.ok);
+  for (const char* counter :
+       {"serve.replicate.replicates", "serve.replicate.seed",
+        "serve.replicate.seed_stream.replicate", "serve.replicate.stop_reason."}) {
+    EXPECT_NE(stats_response.table.find(counter), std::string::npos) << counter;
+  }
+  std::remove(table_path.c_str());
+}
+
+TEST_F(ServeSuite, ReplicateSummaryWithoutATableIsATypedError) {
+  DaemonHarness harness;
+  ASSERT_TRUE(harness.start(mono_path(), "serve_noreps.sock").ok());
+  serve::Client client;
+  ASSERT_TRUE(client.connect(harness.socket_path()).ok());
+  serve::Request request;
+  request.endpoint = "replicate_summary";
+  serve::Response response;
+  ASSERT_TRUE(client.request(request, &response).ok());
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "bad-request");
+  EXPECT_EQ(response.message, "daemon was started without --replicates");
+}
+
+// --- unified validation ----------------------------------------------------
+
+TEST_F(ServeSuite, BadParamsComeBackWithTheSharedValidatorWording) {
+  // The daemon funnels params through core::AnalysisRequest::from_params —
+  // the same validator the offline CLI uses — so the wire message must be
+  // byte-identical to the core error (cli_test pins the offline end).
+  DaemonHarness harness;
+  ASSERT_TRUE(harness.start(mono_path(), "serve_badparam.sock").ok());
+  serve::Client client;
+  ASSERT_TRUE(client.connect(harness.socket_path()).ok());
+
+  const struct {
+    const char* field;
+    const char* value;
+    const char* message;
+  } cases[] = {
+      {"type", "gremlin", "unknown failure type 'gremlin'"},
+      {"class", "midrange", "unknown system class 'midrange'"},
+      {"family", "hh", "disk family must be a single letter, got 'hh'"},
+      {"group_by", "shelf", "unknown group-by 'shelf' (want class|type|family)"},
+  };
+  for (const auto& c : cases) {
+    serve::Request request;
+    request.endpoint = "query";
+    if (std::strcmp(c.field, "type") == 0) request.params.type = c.value;
+    if (std::strcmp(c.field, "class") == 0) request.params.cls = c.value;
+    if (std::strcmp(c.field, "family") == 0) request.params.family = c.value;
+    if (std::strcmp(c.field, "group_by") == 0) request.params.group_by = c.value;
+    serve::Response response;
+    ASSERT_TRUE(client.request(request, &response).ok());
+    EXPECT_FALSE(response.ok) << c.field;
+    EXPECT_EQ(response.error_code, "bad-param") << c.field;
+    EXPECT_EQ(response.message, c.message) << c.field;
+
+    // And the in-process validator agrees byte for byte.
+    core::AnalysisRequest analysis;
+    const auto core_err = core::AnalysisRequest::from_params(
+        core::StatisticId::kQuery, request.params, false, &analysis);
+    EXPECT_EQ(core_err.code, response.error_code) << c.field;
+    EXPECT_EQ(core_err.message, response.message) << c.field;
+  }
+
+  // Params on a non-query endpoint: same wording on the wire as offline.
+  serve::Request request;
+  request.endpoint = "replicate_summary";
+  request.params.type = "disk";
+  serve::Response response;
+  ASSERT_TRUE(client.request(request, &response).ok());
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "bad-request");
+  EXPECT_EQ(response.message, "params are only valid for the query endpoint");
 }
 
 // --- start() validation --------------------------------------------------

@@ -325,6 +325,106 @@ TEST(CliUsage, BadInvocationsFail) {
             0);
 }
 
+namespace {
+
+/// Like run_cli, but captures stderr (stdout dropped): the unified
+/// validator's error wording prints there.
+std::pair<int, std::string> run_cli_stderr(const std::string& args) {
+  const std::string err_path = temp_path("cli_stderr.txt");
+  const std::string command =
+      std::string(STORSUBSIM_CLI_PATH) + " " + args + " 2> " + err_path + " >/dev/null";
+  const int status = std::system(command.c_str());
+  std::ifstream in(err_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return {status, buffer.str()};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+// End-to-end replication: the table and report are thread-invariant,
+// `analyze --replicates` re-renders the table byte-identically without
+// re-simulating, and the provenance manifest records the substream.
+TEST(CliReplicate, ThreadInvariantTableAnalyzeRendersIdentically) {
+  const std::string t1_path = temp_path("cli_t1.reps");
+  const std::string t4_path = temp_path("cli_t4.reps");
+  const std::string flags =
+      " --scale 0.02 --seed 5 --max-replicates 8 --min-replicates 4 --batch 4";
+  const auto t1 = run_cli("replicate --out " + t1_path + flags + " --threads 1");
+  const auto t4 = run_cli("replicate --out " + t4_path + flags + " --threads 4");
+  ASSERT_EQ(t1.first, 0);
+  ASSERT_EQ(t4.first, 0);
+  EXPECT_EQ(t1.second, t4.second) << "report must not depend on thread count";
+  EXPECT_EQ(slurp(t1_path), slurp(t4_path)) << "table must not depend on thread count";
+
+  const auto analyzed = run_cli("analyze --replicates " + t1_path);
+  ASSERT_EQ(analyzed.first, 0);
+  EXPECT_EQ(analyzed.second, t1.second);
+
+  const std::string manifest = slurp(t1_path + ".manifest.json");
+  for (const char* token : {"\"seed_stream\"", "\"replicate\"", "\"stop_reason\"",
+                            "\"max_replicates\"", "\"replicates\": 8"}) {
+    EXPECT_NE(manifest.find(token), std::string::npos) << token;
+  }
+
+  std::remove((t1_path + ".manifest.json").c_str());
+  std::remove((t4_path + ".manifest.json").c_str());
+  std::remove(t1_path.c_str());
+  std::remove(t4_path.c_str());
+}
+
+TEST(CliReplicate, SequentialStoppingBeatsTheFixedBudget) {
+  const std::string out = temp_path("cli_earlystop.reps");
+  const auto run = run_cli("replicate --out " + out +
+                           " --scale 0.02 --seed 5 --max-replicates 24"
+                           " --min-replicates 4 --batch 4 --ci-rel 0.5 --threads 1");
+  ASSERT_EQ(run.first, 0);
+  EXPECT_NE(run.second.find("converged"), std::string::npos) << run.second;
+  const std::string manifest = slurp(out + ".manifest.json");
+  EXPECT_NE(manifest.find("\"stop_reason\": \"converged\""), std::string::npos) << manifest;
+  // Converging before the 24-replicate budget is the point of the
+  // sequential rule: the manifest records fewer replicates actually run.
+  EXPECT_EQ(manifest.find("\"replicates\": 24"), std::string::npos) << manifest;
+  EXPECT_NE(manifest.find("\"converged_statistics\""), std::string::npos);
+  std::remove((out + ".manifest.json").c_str());
+  std::remove(out.c_str());
+}
+
+TEST_F(CliTest, OfflineBadParamsUseTheSharedValidatorWording) {
+  // serve_test pins the same strings coming over the socket; together the
+  // two suites prove "same error offline and over the wire, byte for byte".
+  const std::string store_path = temp_path("cli_badparam.store");
+  {
+    const auto [status, out] = run_cli("store build --out " + store_path + " --logs " +
+                                       logs_path_ + " --snapshot " + snap_path_);
+    ASSERT_EQ(status, 0) << out;
+  }
+  const struct {
+    const char* flag;
+    const char* message;
+  } cases[] = {
+      {"--type gremlin", "unknown failure type 'gremlin'"},
+      {"--class midrange", "unknown system class 'midrange'"},
+      {"--family hh", "disk family must be a single letter, got 'hh'"},
+      {"--group-by shelf", "unknown group-by 'shelf' (want class|type|family)"},
+  };
+  for (const auto& c : cases) {
+    const auto [status, err] =
+        run_cli_stderr("store query --store " + store_path + " " + c.flag);
+    EXPECT_NE(status, 0) << c.flag;
+    EXPECT_EQ(err, std::string(c.message) + "\n") << c.flag;
+  }
+  std::remove(store_path.c_str());
+  std::remove((store_path + ".manifest.json").c_str());
+}
+
 TEST(CliUsage, UnknownClassRejected) {
   const std::string logs = temp_path("cli_fleet.log");
   const std::string snap = temp_path("cli_fleet.snap");

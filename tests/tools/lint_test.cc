@@ -550,6 +550,25 @@ TEST(LockDisciplineRule, RaiiGuardsSiblingScopesAndDistinctMutexesAreClean) {
   EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
 }
 
+// --- rule: analysis-overload --------------------------------------------------
+
+TEST(AnalysisOverloadRule, FlagsEveryConcreteBackendRedeclaration) {
+  const auto report =
+      lint_fixture_tree({"analysis_overload/src/core/bad_analysis_overload.cc"});
+  EXPECT_EQ(count_rule(report, lint::Rule::kAnalysisOverload), 3u)
+      << lint::render_json_report(report);
+  EXPECT_TRUE(any_finding_contains(report, "per-backend overloads were retired"));
+  for (const char* backend : {"Dataset", "EventStore", "ShardStore"}) {
+    EXPECT_TRUE(any_finding_contains(report, backend)) << backend;
+  }
+}
+
+TEST(AnalysisOverloadRule, SourceOverloadsHelpersAndCallSitesAreClean) {
+  const auto report =
+      lint_fixture_tree({"analysis_overload/src/core/clean_analysis_overload.cc"});
+  EXPECT_TRUE(report.findings.empty()) << lint::render_json_report(report);
+}
+
 // --- the two-phase engine -----------------------------------------------------
 
 TEST(TreeSuppressions, InlineAllowCoversPhaseTwoRules) {

@@ -421,7 +421,8 @@ const std::map<std::string, std::vector<std::string>>& layer_closure() {
         {"sim", {"log", "stats", "util"}},
         {"store", {"log", "util"}},
         {"core", {"sim", "store", "stats"}},
-        {"serve", {"core"}},
+        {"replicate", {"core"}},
+        {"serve", {"core", "replicate"}},
     };
     std::map<std::string, std::vector<std::string>> out;
     for (const auto& [layer, deps] : direct) {

@@ -90,6 +90,7 @@ void check_view_lifetime(const TreeIndex& index, std::vector<Finding>* findings)
 void check_error_discipline(const TreeIndex& index, std::vector<Finding>* findings);
 void check_layering(const TreeIndex& index, std::vector<Finding>* findings);
 void check_lock_discipline(const TreeIndex& index, std::vector<Finding>* findings);
+void check_analysis_overload(const TreeIndex& index, std::vector<Finding>* findings);
 
 /// The declared layering DAG over src/ (docs/static-analysis.md): for each
 /// layer directory, the set of layers it may include (its transitive

@@ -28,6 +28,7 @@ std::string_view rule_name(Rule rule) noexcept {
     case Rule::kErrorDiscipline: return "error-discipline";
     case Rule::kLayering: return "layering";
     case Rule::kLockDiscipline: return "lock-discipline";
+    case Rule::kAnalysisOverload: return "analysis-overload";
     case Rule::kBadSuppression: return "bad-suppression";
   }
   return "unknown";
@@ -173,6 +174,7 @@ TreeReport run_engine(std::vector<Slot>& slots, const LintOptions& options) {
   check_error_discipline(index, &tree_findings);
   check_layering(index, &tree_findings);
   check_lock_discipline(index, &tree_findings);
+  check_analysis_overload(index, &tree_findings);
   for (Finding& f : tree_findings) {
     bool suppressed = false;
     for (const FileEntry& e : index.files) {

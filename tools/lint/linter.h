@@ -53,6 +53,7 @@ enum class Rule {
   kErrorDiscipline,
   kLayering,
   kLockDiscipline,
+  kAnalysisOverload,
   kBadSuppression,
 };
 
@@ -60,7 +61,7 @@ inline constexpr Rule kAllRules[] = {
     Rule::kNondeterminism, Rule::kUnorderedIter,    Rule::kRngDiscipline,
     Rule::kHeaderHygiene,  Rule::kAllocHotpath,     Rule::kTimerDiscipline,
     Rule::kViewLifetime,   Rule::kErrorDiscipline,  Rule::kLayering,
-    Rule::kLockDiscipline, Rule::kBadSuppression};
+    Rule::kLockDiscipline, Rule::kAnalysisOverload, Rule::kBadSuppression};
 
 std::string_view rule_name(Rule rule) noexcept;
 std::optional<Rule> rule_from_name(std::string_view name) noexcept;

@@ -4,7 +4,7 @@
 #   tools/run_checks.sh [extra ctest args...]
 #
 #   1. configure + build the default preset
-#   2. ctest (559 unit/integration tests + the storsim_lint fixture suite
+#   2. ctest (601 unit/integration tests + the storsim_lint fixture suite
 #      + the StorsimLint.TreeIsClean gate)
 #   3. storsim_lint --check over src/ bench/ tests/ (redundant with the ctest
 #      gate, but run standalone so its report is printed even when ctest is
@@ -38,20 +38,25 @@
 #      (exit 0, socket unlinked)
 #  10. clang-tidy over src/ when available (the container may not ship it;
 #      the curated profile lives in .clang-tidy)
+#  11. replication gate (docs/REPLICATION.md): `storsubsim replicate` at
+#      --threads 1 and 4 must write byte-identical STORREP1 tables and
+#      reports, `analyze --replicates` must re-render the table byte for
+#      byte without re-simulating, and a ci_rel run must stop before the
+#      fixed budget with its provenance manifest recording why
 #
 # Sanitizer passes are heavier and live in tools/run_sanitizer.sh.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== [1/10] configure + build =="
+echo "== [1/11] configure + build =="
 cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 
-echo "== [2/10] ctest =="
+echo "== [2/11] ctest =="
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "== [3/10] storsim_lint =="
+echo "== [3/11] storsim_lint =="
 # Emit the machine-readable report first (it must exist even when the gate
 # below fails, so CI can surface the findings), then run the human gate.
 ./build/tools/storsim_lint --format=json --root . src bench tests \
@@ -59,11 +64,11 @@ echo "== [3/10] storsim_lint =="
 ./build/tools/storsim_lint --check --root . src bench tests
 echo "machine-readable report: build/lint-report.json"
 
-echo "== [4/10] pipeline_throughput smoke =="
+echo "== [4/11] pipeline_throughput smoke =="
 ./build/bench/pipeline_throughput --scale=0.05 --repeat=1 \
   --out=build/BENCH_pipeline_smoke.json
 
-echo "== [5/10] store round-trip (full scale) + corruption smoke =="
+echo "== [5/11] store round-trip (full scale) + corruption smoke =="
 ./build/bench/store_bench --scale=1.0 --repeat=1 \
   --store=build/BENCH_checks.store --out=build/BENCH_store_checks.json
 # Corrupt stores must be rejected, never crash: truncate one copy, flip a
@@ -80,7 +85,7 @@ for broken in build/BENCH_checks_truncated.store build/BENCH_checks_flipped.stor
 done
 echo "corrupted stores rejected with typed errors"
 
-echo "== [6/10] observability: byte identity + manifest + overhead =="
+echo "== [6/11] observability: byte identity + manifest + overhead =="
 # Byte identity at full scale: the store built in step 5 feeds the same
 # analyze invocation with the obs stack off and fully on. --input also
 # exercises the STORCOL1 magic sniffing path.
@@ -137,7 +142,7 @@ else
   echo "python3 unavailable; skipping the <2% overhead comparison"
 fi
 
-echo "== [7/10] sharded store: bounded-memory build + merged-answer identity =="
+echo "== [7/11] sharded store: bounded-memory build + merged-answer identity =="
 # Full-scale sharded build under a budget the monolithic writer exceeds
 # (step 5's single-file build peaks around 630 MiB on this fleet). The build
 # records its own peak RSS in the directory's build.manifest.json.
@@ -175,7 +180,7 @@ else
   echo "python3 unavailable; skipping the RSS-budget assertion"
 fi
 
-echo "== [8/10] decode-kernel identity: scalar build vs SIMD build =="
+echo "== [8/11] decode-kernel identity: scalar build vs SIMD build =="
 # A scalar-only build (-DSTORSUBSIM_SIMD=OFF) must answer the full-scale
 # analyze byte for byte like the default build: the wide kernels may only
 # change speed, never output. Reuses the step-5 store so both binaries read
@@ -192,7 +197,7 @@ for report in afr burstiness correlation; do
 done
 echo "scalar-kernel build byte-identical to the SIMD build (afr, burstiness, correlation)"
 
-echo "== [9/10] storsimd: daemon byte-identity + QPS floor + drain =="
+echo "== [9/11] storsimd: daemon byte-identity + QPS floor + drain =="
 # A real `storsubsim serve` daemon over the full-scale store from step 5,
 # driven by parallel `storsubsim client` invocations: every endpoint must be
 # byte-identical to the offline path, and SIGTERM must drain cleanly
@@ -259,7 +264,7 @@ else
   echo "python3 unavailable; QPS floor grep-checked for identity only"
 fi
 
-echo "== [10/10] clang-tidy =="
+echo "== [10/11] clang-tidy =="
 if command -v clang-tidy > /dev/null 2>&1; then
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
   # Lint the library sources; headers are pulled in via HeaderFilterRegex.
@@ -267,6 +272,49 @@ if command -v clang-tidy > /dev/null 2>&1; then
     clang-tidy -p build --quiet
 else
   echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+echo "== [11/11] replication: thread-invariance + analyze --replicates + early stop =="
+# The determinism contract on the Monte Carlo replicator: replicate seeds are
+# keyed substreams of the root seed, so the table and the report must not
+# depend on the thread count (docs/REPLICATION.md).
+./build/tools/storsubsim replicate --out build/CHECK_t1.reps \
+  --scale 0.02 --seed 11 --max-replicates 8 --min-replicates 4 --batch 4 \
+  --threads 1 > build/CHECK_replicate_t1.txt 2> /dev/null
+./build/tools/storsubsim replicate --out build/CHECK_t4.reps \
+  --scale 0.02 --seed 11 --max-replicates 8 --min-replicates 4 --batch 4 \
+  --threads 4 > build/CHECK_replicate_t4.txt 2> /dev/null
+cmp build/CHECK_t1.reps build/CHECK_t4.reps
+cmp build/CHECK_replicate_t1.txt build/CHECK_replicate_t4.txt
+echo "replicate tables + reports byte-identical at --threads 1 and 4"
+# `analyze --replicates` answers from the stored table, no re-simulation.
+./build/tools/storsubsim analyze --replicates build/CHECK_t1.reps \
+  > build/CHECK_replicate_analyze.txt 2> /dev/null
+cmp build/CHECK_replicate_t1.txt build/CHECK_replicate_analyze.txt
+echo "analyze --replicates re-renders the stored table byte for byte"
+# Sequential stopping must beat the fixed budget at a loose target, and the
+# provenance manifest must say so.
+./build/tools/storsubsim replicate --out build/CHECK_earlystop.reps \
+  --scale 0.02 --seed 11 --max-replicates 24 --min-replicates 4 --batch 4 \
+  --ci-rel 0.5 --threads 1 > /dev/null 2>&1
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'PYEOF'
+import json
+manifest = json.load(open("build/CHECK_earlystop.reps.manifest.json"))
+info = manifest["info"]
+numbers = manifest["numbers"]
+replicates = int(numbers["replicates"])
+assert info["stop_reason"] == "converged", info
+assert info["seed_stream"] == "replicate", info
+assert numbers["converged_statistics"] >= 1, numbers
+assert 0 < numbers["min_stopped_at"] < 24, numbers
+assert replicates < 24, "sequential stopping did not beat the fixed budget"
+print("sequential stopping: %d/24 replicates (converged, %d statistics at target)"
+      % (replicates, int(numbers["converged_statistics"])))
+PYEOF
+else
+  grep -q '"stop_reason": "converged"' build/CHECK_earlystop.reps.manifest.json
+  echo "python3 unavailable; early-stop manifest grep-checked only"
 fi
 
 echo "All checks passed."

@@ -50,6 +50,7 @@
 
 #include "core/afr.h"
 #include "core/analysis_render.h"
+#include "core/analysis_request.h"
 #include "core/burstiness.h"
 #include "core/correlation.h"
 #include "core/prediction.h"
@@ -64,6 +65,8 @@
 #include "model/fleet_config.h"
 #include "model/time.h"
 #include "obs/obs.h"
+#include "replicate/replicate.h"
+#include "replicate/table.h"
 #include "serve/client.h"
 #include "serve/daemon.h"
 #include "sim/log_bridge.h"
@@ -126,6 +129,9 @@ int usage() {
   storsubsim analyze  (--input FILE [--snapshot FILE] | --logs FILE --snapshot FILE | --store FILE)
                       --report afr|afr-total|burstiness|correlation|lifetime|vulnerability|events
                       [--class CLASS] [--exclude-h] [--csv]
+  storsubsim analyze  --replicates FILE [--csv]
+  storsubsim replicate --out FILE [--scale S] [--seed N] [--max-replicates N] [--min-replicates N]
+                      [--batch B] [--ci-rel R] [--confidence C] [--csv] [--threads N]
   storsubsim inspect  --snapshot FILE [--csv]
   storsubsim predict  --logs FILE --snapshot FILE [--threshold K] [--window-days W] [--horizon-days H]
   storsubsim store build --out FILE ([--scale S] [--seed N] | --logs FILE --snapshot FILE)
@@ -134,7 +140,9 @@ int usage() {
                       [--from-days D] [--to-days D] [--group-by class|type|family] [--csv]
   storsubsim store stats --store FILE|DIR [--csv]
   storsubsim serve    --input FILE|DIR --socket PATH [--max-open-shards N] [--threads N]
-  storsubsim client   --socket PATH --endpoint afr|afr_by_class|tbf|correlation|lifetime|query|stats
+                      [--replicates FILE]
+  storsubsim client   --socket PATH
+                      --endpoint afr|afr_by_class|tbf|correlation|lifetime|query|stats|replicate_summary
                       [--type TYPE] [--class CLASS] [--family F] [--from-days D]
                       [--to-days D] [--group-by class|type|family] [--csv]
 observability (any command): [--metrics] [--trace FILE] [--manifest FILE]
@@ -285,6 +293,20 @@ void print(const core::TextTable& table, const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
+  // `--replicates FILE`: render a stored STORREP1 replication summary —
+  // byte-identical to what `storsubsim replicate` printed when it wrote the
+  // table, without re-simulating anything.
+  const std::string replicates_path = args.get("replicates");
+  if (!replicates_path.empty()) {
+    replicate::ReplicateSummary summary;
+    if (const auto err = replicate::read_table(replicates_path, &summary); !err.ok()) {
+      std::cerr << "cannot read replicate table " << replicates_path << ": "
+                << err.describe() << "\n";
+      return 1;
+    }
+    std::cout << replicate::render_summary(summary, args.has_flag("csv"));
+    return 0;
+  }
   // `--input FILE` is the unified spelling: the file is sniffed for the
   // STORCOL1 magic and routed to the store or log path. `--store` / `--logs`
   // remain as aliases with byte-identical output.
@@ -346,20 +368,20 @@ int cmd_analyze(const Args& args) {
                               : have_shards ? core::Source(shard_store)
                                             : core::Source(event_store);
 
-  // The table-producing reports render through core/analysis_render.h — the
-  // same functions the storsimd serve endpoints call, which is what makes the
-  // daemon byte-identical to this offline path (docs/SERVE.md).
+  // The table-producing reports go through core::AnalysisRequest +
+  // core::render_statistic — the same typed request and renderer the
+  // storsimd serve endpoints execute, which is what makes the daemon
+  // byte-identical to this offline path (docs/SERVE.md, docs/API.md).
   const bool csv = args.has_flag("csv");
-  if (report == "afr") {
-    std::cout << core::render_afr_by_class(source, csv);
-  } else if (report == "afr-total") {
-    std::cout << core::render_afr_total(source, csv);
-  } else if (report == "burstiness") {
-    std::cout << core::render_tbf(source, csv);
-  } else if (report == "correlation") {
-    std::cout << core::render_correlation(source, csv);
-  } else if (report == "lifetime") {
-    std::cout << core::render_lifetime(source, csv);
+  const auto statistic = core::statistic_from_report(report);
+  if (statistic.has_value() && *statistic != core::StatisticId::kQuery) {
+    core::AnalysisRequest request;
+    if (const auto err = core::AnalysisRequest::from_params(*statistic, {}, csv, &request);
+        !err.ok()) {
+      std::cerr << err.message << "\n";
+      return 1;
+    }
+    std::cout << core::render_statistic(source, request);
   } else if (report == "events") {
     // Raw classified-failure export (one row per failure, joined with the
     // inventory) — feed to R/pandas/duckdb for analyses this tool lacks.
@@ -640,50 +662,29 @@ int cmd_store_query(const Args& args) {
     return 1;
   }
 
-  store::Query query;
-  const std::string type = args.get("type");
-  if (!type.empty()) {
-    const auto parsed = model::parse_failure_type(type);
-    if (!parsed) {
-      std::cerr << "unknown failure type '" << type << "'\n";
-      return 1;
-    }
-    query.failure_type = parsed;
-  }
-  const std::string cls = args.get("class");
-  if (!cls.empty()) {
-    const auto parsed = model::parse_system_class(cls);
-    if (!parsed) {
-      std::cerr << "unknown system class '" << cls << "'\n";
-      return 1;
-    }
-    query.system_class = parsed;
-  }
-  const std::string family = args.get("family");
-  if (!family.empty()) {
-    if (family.size() != 1) {
-      std::cerr << "disk family must be a single letter, got '" << family << "'\n";
-      return 1;
-    }
-    query.disk_family = family[0];
-  }
+  // Flags travel as raw strings into the one shared validator
+  // (core::AnalysisRequest::from_params) — the daemon runs the identical
+  // code on its JSON params, so a bad value gets the same message here and
+  // over the socket.
+  core::RequestParams params;
+  params.type = args.get("type");
+  params.cls = args.get("class");
+  params.family = args.get("family");
+  params.group_by = args.get("group-by");
   if (args.options.contains("from-days")) {
-    query.time_begin = args.get_double("from-days", 0.0) * model::kSecondsPerDay;
+    params.from_days = args.get_double("from-days", 0.0);
   }
   if (args.options.contains("to-days")) {
-    query.time_end = args.get_double("to-days", 0.0) * model::kSecondsPerDay;
+    params.to_days = args.get_double("to-days", 0.0);
   }
-  const std::string group = args.get("group-by");
-  if (group == "class") {
-    query.group_by = store::Query::GroupBy::kSystemClass;
-  } else if (group == "type") {
-    query.group_by = store::Query::GroupBy::kFailureType;
-  } else if (group == "family") {
-    query.group_by = store::Query::GroupBy::kDiskFamily;
-  } else if (!group.empty()) {
-    std::cerr << "unknown group-by '" << group << "' (want class|type|family)\n";
+  core::AnalysisRequest request;
+  if (const auto err = core::AnalysisRequest::from_params(
+          core::StatisticId::kQuery, params, args.has_flag("csv"), &request);
+      !err.ok()) {
+    std::cerr << err.message << "\n";
     return 1;
   }
+  const store::Query& query = request.query;
 
   store::QueryResult result;
   if (sharded) {
@@ -783,6 +784,74 @@ int cmd_store_stats(const Args& args) {
   return 0;
 }
 
+/// `storsubsim replicate`: the Monte Carlo replication driver
+/// (docs/REPLICATION.md). Runs keyed-substream replicates of the whole
+/// simulate -> classify pipeline, prints the CI summary, and writes the
+/// STORREP1 table plus a provenance manifest beside it.
+int cmd_replicate(const Args& args) {
+  const std::string out = args.get("out");
+  if (out.empty()) return usage();
+
+  replicate::ReplicateOptions options;
+  options.scale = args.get_double("scale", options.scale);
+  options.seed = static_cast<std::uint64_t>(args.get_double("seed", 20080226));
+  options.max_replicates = static_cast<std::size_t>(
+      args.get_double("max-replicates", static_cast<double>(options.max_replicates)));
+  options.min_replicates = static_cast<std::size_t>(
+      args.get_double("min-replicates", static_cast<double>(options.min_replicates)));
+  options.batch =
+      static_cast<std::size_t>(args.get_double("batch", static_cast<double>(options.batch)));
+  options.confidence = args.get_double("confidence", options.confidence);
+  options.ci_rel = args.get_double("ci-rel", options.ci_rel);
+
+  std::cerr << "replicating the standard fleet at scale " << options.scale << " (seed "
+            << options.seed << ", up to " << options.max_replicates << " replicates)...\n";
+  const auto summary = replicate::run_replication(options);
+  if (const auto err = replicate::write_table(out, summary); !err.ok()) {
+    std::cerr << "cannot write replicate table " << out << ": " << err.describe() << "\n";
+    return 1;
+  }
+  std::cout << replicate::render_summary(summary, args.has_flag("csv"));
+  std::cerr << "wrote " << summary.replicates << "-replicate table to " << out << " ("
+            << replicate::to_string(summary.stop_reason) << ")\n";
+
+  // Replicate-mode provenance beside the artifact (same pattern as store
+  // build): which substream seeded the replicates, how many ran, and why
+  // the run stopped — enough to reproduce or audit the table.
+  std::size_t converged = 0;
+  std::size_t min_stopped_at = 0;
+  for (const auto& stat : summary.stats) {
+    if (stat.stopped_at == 0) continue;
+    ++converged;
+    if (min_stopped_at == 0 || stat.stopped_at < min_stopped_at) {
+      min_stopped_at = stat.stopped_at;
+    }
+  }
+  obs::RunManifest manifest;
+  manifest.tool = "storsubsim replicate";
+  manifest.seed = options.seed;
+  manifest.scale = options.scale;
+  manifest.threads = util::thread_count();
+  manifest.info.emplace_back("out", out);
+  manifest.info.emplace_back("seed_stream", std::string(replicate::kSeedStream));
+  manifest.info.emplace_back("stop_reason",
+                             std::string(replicate::to_string(summary.stop_reason)));
+  manifest.numbers.emplace_back("replicates", static_cast<double>(summary.replicates));
+  manifest.numbers.emplace_back("max_replicates",
+                                static_cast<double>(options.max_replicates));
+  manifest.numbers.emplace_back("ci_rel", options.ci_rel);
+  manifest.numbers.emplace_back("converged_statistics", static_cast<double>(converged));
+  manifest.numbers.emplace_back("min_stopped_at", static_cast<double>(min_stopped_at));
+  manifest.numbers.emplace_back("peak_rss_bytes",
+                                static_cast<double>(util::peak_rss_bytes()));
+  const std::string manifest_path = out + ".manifest.json";
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    std::cerr << "cannot write manifest " << manifest_path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_store(const Args& args) {
   if (args.subcommand == "build") return cmd_store_build(args);
   if (args.subcommand == "query") return cmd_store_query(args);
@@ -814,6 +883,7 @@ int cmd_serve(const Args& args) {
   options.max_open_shards =
       static_cast<std::size_t>(args.get_double("max-open-shards", 0.0));
   options.threads = static_cast<unsigned>(args.get_double("threads", 0.0));
+  options.replicates = args.get("replicates");
 
   serve::Daemon daemon;
   if (const auto err = daemon.start(options); !err.ok()) {
@@ -880,6 +950,7 @@ int dispatch(const Args& args) {
   if (args.command == "analyze") return cmd_analyze(args);
   if (args.command == "inspect") return cmd_inspect(args);
   if (args.command == "predict") return cmd_predict(args);
+  if (args.command == "replicate") return cmd_replicate(args);
   if (args.command == "store") return cmd_store(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "client") return cmd_client(args);
@@ -915,7 +986,8 @@ int main(int argc, char** argv) {
     manifest.seed = static_cast<std::uint64_t>(args.get_double("seed", 0.0));
     manifest.scale = args.get_double("scale", 0.0);
     manifest.threads = util::thread_count();
-    for (const char* key : {"logs", "snapshot", "store", "input", "out", "report"}) {
+    for (const char* key :
+         {"logs", "snapshot", "store", "input", "out", "report", "replicates"}) {
       const std::string value = args.get(key);
       if (!value.empty()) manifest.info.emplace_back(key, value);
     }
